@@ -1,0 +1,116 @@
+// benchtool regenerates any table or figure of the paper's evaluation from
+// the calibrated cluster model. Each experiment prints the same rows/series
+// the paper reports.
+//
+//	benchtool -exp table1
+//	benchtool -exp fig5 -nodes 16
+//	benchtool -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/simcluster"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig5..fig16, table1, table2, or all")
+	nodes := flag.Int("nodes", 16, "node count for fig5")
+	plot := flag.Bool("plot", false, "render figs 13-16 as ASCII charts instead of tables")
+	flag.Parse()
+
+	c := simcluster.New(64, simcluster.DefaultParams())
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+			"fig13", "fig14", "fig15", "fig16", "table1", "table2"}
+	}
+	for _, id := range ids {
+		if *plot {
+			if chart, ok, err := plotCurve(c, id); err != nil {
+				log.Fatalf("%s: %v", id, err)
+			} else if ok {
+				fmt.Println(chart)
+				continue
+			}
+		}
+		tbl, err := run(c, id, *nodes)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(tbl)
+	}
+}
+
+// plotCurve renders figs 13-16 as ASCII charts; ok is false for other ids.
+func plotCurve(c *simcluster.Cluster, id string) (string, bool, error) {
+	counts := []int{8, 16, 32}
+	var m simcluster.Model
+	var errCurve bool
+	switch strings.ToLower(id) {
+	case "fig13":
+		m, errCurve = simcluster.ResNet50, false
+	case "fig14":
+		m, errCurve = simcluster.GoogLeNetBN, false
+	case "fig15":
+		m, errCurve = simcluster.ResNet50, true
+	case "fig16":
+		m, errCurve = simcluster.GoogLeNetBN, true
+	default:
+		return "", false, nil
+	}
+	chart, err := c.PlotFigure(m, errCurve, counts, 72, 18)
+	return chart, true, err
+}
+
+func run(c *simcluster.Cluster, id string, fig5Nodes int) (*simcluster.Table, error) {
+	counts := []int{8, 16, 32}
+	switch strings.ToLower(id) {
+	case "fig5":
+		_, tbl, err := c.Fig5(fig5Nodes, []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+		return tbl, err
+	case "fig6":
+		_, _, tbl, err := c.Fig6(counts)
+		return tbl, err
+	case "fig7":
+		_, tbl, err := c.FigShuffle(simcluster.ImageNet22k, counts)
+		return tbl, err
+	case "fig8":
+		_, tbl, err := c.FigShuffle(simcluster.ImageNet1k, counts)
+		return tbl, err
+	case "fig9":
+		_, tbl, err := c.Fig9([]int{1, 4, 8, 16})
+		return tbl, err
+	case "fig10":
+		_, tbl, err := c.FigDIMD(simcluster.ImageNet1k, counts)
+		return tbl, err
+	case "fig11":
+		_, tbl, err := c.FigDIMD(simcluster.ImageNet22k, counts)
+		return tbl, err
+	case "fig12":
+		_, tbl, err := c.Fig12(counts)
+		return tbl, err
+	case "fig13":
+		return c.FigCurve(simcluster.ResNet50, false, counts)
+	case "fig14":
+		return c.FigCurve(simcluster.GoogLeNetBN, false, counts)
+	case "fig15":
+		return c.FigCurve(simcluster.ResNet50, true, counts)
+	case "fig16":
+		return c.FigCurve(simcluster.GoogLeNetBN, true, counts)
+	case "table1":
+		_, tbl, err := c.Table1(counts)
+		return tbl, err
+	case "table2":
+		_, tbl, err := c.Table2()
+		return tbl, err
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		os.Exit(2)
+		return nil, nil
+	}
+}

@@ -1,0 +1,58 @@
+// workloads analyzes the communication sensitivity of every CNN the paper's
+// introduction motivates — AlexNet, NiN, GoogLeNet-BN, ResNet-50, VGG-16 —
+// on the simulated Minsky cluster: which models are communication-bound on
+// the stock OpenMPI stack, and how much the multi-color allreduce buys each.
+// It also verifies the payload constants against the real models built by
+// internal/models.
+//
+// Run: go run ./examples/workloads
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/simcluster"
+	"repro/internal/tensor"
+)
+
+func main() {
+	fmt.Println("Verifying payloads against the real models (fp32 parameter bytes):")
+	rng := tensor.NewRNG(1)
+	builders := map[string]func() *nn.Sequential{
+		"alexnet":  func() *nn.Sequential { return models.NewAlexNet(1000, rng) },
+		"nin":      func() *nn.Sequential { return models.NewNiN(1000, rng) },
+		"resnet50": func() *nn.Sequential { return models.NewResNet50(1000, rng) },
+		"vgg16":    func() *nn.Sequential { return models.NewVGG16(1000, rng) },
+	}
+	for _, w := range simcluster.MotivatingWorkloads() {
+		build, ok := builders[w.Name]
+		if !ok {
+			fmt.Printf("  %-12s %6.0f MB (paper-stated payload)\n", w.Name, w.PayloadBytes/1e6)
+			continue
+		}
+		real := float64(models.ParamBytes(build()))
+		status := "MATCH"
+		if real != w.PayloadBytes {
+			status = fmt.Sprintf("MISMATCH (model has %.0f MB)", real/1e6)
+		}
+		fmt.Printf("  %-12s %6.0f MB  %s\n", w.Name, w.PayloadBytes/1e6, status)
+	}
+	fmt.Println()
+
+	c := simcluster.New(64, simcluster.DefaultParams())
+	for _, nodes := range []int{8, 32} {
+		_, tbl, err := c.CommSensitivity(nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tbl)
+	}
+	fmt.Println("Reading: AlexNet and VGG-16 are communication-bound on the stock stack")
+	fmt.Println("(giant FC-layer payloads), so the multi-color allreduce buys them the")
+	fmt.Println("most; NiN's 30 MB payload barely notices the network. ResNet-50 and")
+	fmt.Println("GoogLeNetBN — the paper's workloads — sit in between, which is why the")
+	fmt.Println("paper pairs the communication fix with the I/O and scheduling fixes.")
+}

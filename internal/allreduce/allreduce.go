@@ -1,0 +1,266 @@
+package allreduce
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Algorithm names an allreduce implementation.
+type Algorithm string
+
+// The implemented algorithms. AlgDefault mirrors what the paper calls
+// "default OpenMPI": recursive doubling for small payloads, Rabenseifner
+// (reduce-scatter + allgather) for large ones.
+const (
+	AlgNaive             Algorithm = "naive"
+	AlgRing              Algorithm = "ring"
+	AlgBucketRing        Algorithm = "bucketring"
+	AlgRecursiveDoubling Algorithm = "rdoubling"
+	AlgRabenseifner      Algorithm = "rabenseifner"
+	AlgDefault           Algorithm = "default"
+	AlgMultiColor        Algorithm = "multicolor"
+)
+
+// Algorithms lists every implemented algorithm, for sweeps and CLIs.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgNaive, AlgRing, AlgBucketRing, AlgRecursiveDoubling, AlgRabenseifner, AlgDefault, AlgMultiColor}
+}
+
+// Options tunes the algorithms.
+type Options struct {
+	// Colors is the k of the multi-color algorithm (tree arity equals the
+	// color count, per the paper). Default 4, the paper's configuration.
+	Colors int
+	// SegmentFloats is the pipeline segment size in elements for the ring
+	// and multi-color algorithms. Default 16384 (64 KiB segments).
+	SegmentFloats int
+	// DefaultCrossover is the payload (elements) above which AlgDefault
+	// switches from recursive doubling to Rabenseifner. Default 4096.
+	DefaultCrossover int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Colors <= 0 {
+		o.Colors = 4
+	}
+	if o.SegmentFloats <= 0 {
+		o.SegmentFloats = 16384
+	}
+	if o.DefaultCrossover <= 0 {
+		o.DefaultCrossover = 4096
+	}
+	return o
+}
+
+// Tag bases inside the user tag space, reserved by convention for this
+// package (applications should stay below tagBase).
+const (
+	tagBase       = mpi.MaxUserTag - 4096
+	tagRingReduce = tagBase + 0
+	tagRingBcast  = tagBase + 1
+	tagBucket     = tagBase + 2
+	tagRD         = tagBase + 3
+	tagRabFold    = tagBase + 4
+	tagRabRS      = tagBase + 5
+	tagRabAG      = tagBase + 6
+	tagRabBack    = tagBase + 7
+	// Multi-color uses tagMC + 2*color and tagMC + 2*color + 1.
+	tagMC = tagBase + 16
+)
+
+// AllReduce sums data elementwise across every rank of c, leaving the global
+// sum in data on all ranks.
+func AllReduce(c *mpi.Comm, data []float32, alg Algorithm, opts Options) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	opts = opts.withDefaults()
+	switch alg {
+	case AlgNaive:
+		return c.AllReduceFloats(data)
+	case AlgRing:
+		return pipelinedRing(c, data, opts)
+	case AlgBucketRing:
+		return bucketRing(c, data)
+	case AlgRecursiveDoubling:
+		return recursiveDoubling(c, data)
+	case AlgRabenseifner:
+		return rabenseifner(c, data)
+	case AlgDefault:
+		if len(data) <= opts.DefaultCrossover {
+			return recursiveDoubling(c, data)
+		}
+		return rabenseifner(c, data)
+	case AlgMultiColor:
+		return multiColor(c, data, opts)
+	default:
+		return fmt.Errorf("allreduce: unknown algorithm %q", alg)
+	}
+}
+
+// pipelinedRing is the paper's ring baseline: segments are reduced along the
+// ring toward rank 0 (each rank adds its contribution), then the result is
+// broadcast from rank 0 around the ring in the opposite direction. Segments
+// pipeline: a rank forwards segment s while its neighbour still processes
+// s-1.
+func pipelinedRing(c *mpi.Comm, data []float32, opts Options) error {
+	n := c.Size()
+	rank := c.Rank()
+	seg := opts.SegmentFloats
+	nseg := (len(data) + seg - 1) / seg
+	buf := make([]float32, seg)
+
+	// Reduction phase: data flows rank n-1 -> n-2 -> ... -> 0.
+	for s := 0; s < nseg; s++ {
+		lo := s * seg
+		hi := lo + seg
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if rank < n-1 {
+			b, err := c.Recv(rank+1, tagRingReduce)
+			if err != nil {
+				return err
+			}
+			if len(b) != 4*(hi-lo) {
+				return fmt.Errorf("allreduce: ring segment size %d, want %d", len(b), 4*(hi-lo))
+			}
+			part := buf[:hi-lo]
+			mpi.DecodeFloat32s(part, b)
+			for i, v := range part {
+				data[lo+i] += v
+			}
+		}
+		if rank > 0 {
+			if err := c.SendFloats(rank-1, tagRingReduce, data[lo:hi]); err != nil {
+				return err
+			}
+		}
+	}
+	// Broadcast phase: result flows rank 0 -> 1 -> ... -> n-1.
+	for s := 0; s < nseg; s++ {
+		lo := s * seg
+		hi := lo + seg
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if rank > 0 {
+			b, err := c.Recv(rank-1, tagRingBcast)
+			if err != nil {
+				return err
+			}
+			mpi.DecodeFloat32s(data[lo:hi], b)
+		}
+		if rank < n-1 {
+			if err := c.SendFloats(rank+1, tagRingBcast, data[lo:hi]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bucketRing is the classic bandwidth-optimal ring allreduce
+// (reduce-scatter around the ring, then allgather around the ring), included
+// for the ablation benches.
+func bucketRing(c *mpi.Comm, data []float32) error {
+	n := c.Size()
+	rank := c.Rank()
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	chunk := func(i int) []float32 {
+		lo, hi := ChunkBounds(len(data), n, ((i%n)+n)%n)
+		return data[lo:hi]
+	}
+	// Reduce-scatter: after n-1 steps, rank owns the full sum of chunk
+	// (rank+1) mod n.
+	for s := 0; s < n-1; s++ {
+		sendIdx := rank - s
+		recvIdx := rank - s - 1
+		if err := c.SendFloats(right, tagBucket+s, chunk(sendIdx)); err != nil {
+			return err
+		}
+		b, err := c.Recv(left, tagBucket+s)
+		if err != nil {
+			return err
+		}
+		dst := chunk(recvIdx)
+		tmp := make([]float32, len(dst))
+		mpi.DecodeFloat32s(tmp, b)
+		for i, v := range tmp {
+			dst[i] += v
+		}
+	}
+	// Allgather: circulate the completed chunks.
+	for s := 0; s < n-1; s++ {
+		sendIdx := rank - s + 1
+		recvIdx := rank - s
+		if err := c.SendFloats(right, tagBucket+n+s, chunk(sendIdx)); err != nil {
+			return err
+		}
+		b, err := c.Recv(left, tagBucket+n+s)
+		if err != nil {
+			return err
+		}
+		mpi.DecodeFloat32s(chunk(recvIdx), b)
+	}
+	return nil
+}
+
+// recursiveDoubling exchanges and adds full vectors over log2(p) rounds.
+// Non-power-of-two rank counts fold the extras into the power-of-two core
+// first and fan the result back out at the end.
+func recursiveDoubling(c *mpi.Comm, data []float32) error {
+	n := c.Size()
+	rank := c.Rank()
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	extra := n - p2
+	tmp := make([]float32, len(data))
+
+	// Fold: ranks >= p2 send to rank-p2 and wait for the result.
+	if rank >= p2 {
+		if err := c.SendFloats(rank-p2, tagRD, data); err != nil {
+			return err
+		}
+		b, err := c.Recv(rank-p2, tagRD)
+		if err != nil {
+			return err
+		}
+		mpi.DecodeFloat32s(data, b)
+		return nil
+	}
+	if rank < extra {
+		b, err := c.Recv(rank+p2, tagRD)
+		if err != nil {
+			return err
+		}
+		mpi.DecodeFloat32s(tmp, b)
+		for i, v := range tmp {
+			data[i] += v
+		}
+	}
+	// Pairwise exchange-and-add over the power-of-two core.
+	for d := 1; d < p2; d <<= 1 {
+		partner := rank ^ d
+		if err := c.SendFloats(partner, tagRD+d, data); err != nil {
+			return err
+		}
+		b, err := c.Recv(partner, tagRD+d)
+		if err != nil {
+			return err
+		}
+		mpi.DecodeFloat32s(tmp, b)
+		for i, v := range tmp {
+			data[i] += v
+		}
+	}
+	// Unfold.
+	if rank < extra {
+		return c.SendFloats(rank+p2, tagRD, data)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package allreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// multiColor is the paper's k-color allreduce (Section 4.2): the payload is
+// split into k chunks; chunk c is reduced up color c's k-ary spanning tree
+// (whose interior nodes are disjoint from every other color's) and broadcast
+// back down it. Chunks are further split into pipeline segments, and all k
+// colors progress concurrently with no cross-color synchronization —
+// mirroring the paper's description of concurrent per-color RDMA flows on
+// the fat-tree.
+func multiColor(c *mpi.Comm, data []float32, opts Options) error {
+	n := c.Size()
+	k := EffectiveColors(n, opts.Colors)
+	rotation := n / k
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for color := 0; color < k; color++ {
+		lo, hi := ChunkBounds(len(data), k, color)
+		tree := BuildTree(n, k, color, rotation)
+		wg.Add(1)
+		go func(color int, chunk []float32, tree Tree) {
+			defer wg.Done()
+			errs[color] = reduceBcastTree(c, chunk, tree, color, opts.SegmentFloats)
+		}(color, data[lo:hi], tree)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reduceBcastTree pipelines one chunk up and back down one color's tree.
+// The node's role is fixed by the tree: leaves only send segments to their
+// parent; interior nodes sum their children's segments into their local
+// contribution and forward; the root additionally turns each fully-reduced
+// segment around and starts the downward broadcast immediately, so the
+// reduce and broadcast phases overlap segment-by-segment.
+func reduceBcastTree(c *mpi.Comm, chunk []float32, tree Tree, color, segFloats int) error {
+	rank := c.Rank()
+	parent := tree.Parent[rank]
+	children := tree.Children[rank]
+	upTag := tagMC + 2*color
+	downTag := tagMC + 2*color + 1
+	nseg := (len(chunk) + segFloats - 1) / segFloats
+	if len(chunk) == 0 {
+		nseg = 0
+	}
+	tmp := make([]float32, segFloats)
+
+	// Upward (reduce) pass, root turnaround included.
+	for s := 0; s < nseg; s++ {
+		lo := s * segFloats
+		hi := lo + segFloats
+		if hi > len(chunk) {
+			hi = len(chunk)
+		}
+		seg := chunk[lo:hi]
+		for _, ch := range children {
+			b, err := c.Recv(ch, upTag)
+			if err != nil {
+				return err
+			}
+			if len(b) != 4*len(seg) {
+				return fmt.Errorf("allreduce: multicolor segment from %d is %d bytes, want %d", ch, len(b), 4*len(seg))
+			}
+			part := tmp[:len(seg)]
+			mpi.DecodeFloat32s(part, b)
+			for i, v := range part {
+				seg[i] += v
+			}
+		}
+		if parent >= 0 {
+			if err := c.SendFloats(parent, upTag, seg); err != nil {
+				return err
+			}
+		} else {
+			// Root: this segment is globally reduced; broadcast it down.
+			for _, ch := range children {
+				if err := c.SendFloats(ch, downTag, seg); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Downward (broadcast) pass for non-roots.
+	if parent < 0 {
+		return nil
+	}
+	for s := 0; s < nseg; s++ {
+		lo := s * segFloats
+		hi := lo + segFloats
+		if hi > len(chunk) {
+			hi = len(chunk)
+		}
+		b, err := c.Recv(parent, downTag)
+		if err != nil {
+			return err
+		}
+		if len(b) != 4*(hi-lo) {
+			return fmt.Errorf("allreduce: multicolor bcast segment %d bytes, want %d", len(b), 4*(hi-lo))
+		}
+		mpi.DecodeFloat32s(chunk[lo:hi], b)
+		for _, ch := range children {
+			if err := c.SendFloats(ch, downTag, chunk[lo:hi]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package allreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// rabenseifner implements the reduce-scatter (recursive halving) +
+// allgather (recursive doubling) allreduce of Rabenseifner, the algorithm
+// OpenMPI selects for large payloads — the paper's "default OpenMPI"
+// comparison point. Total traffic per rank is ~2·len(data) elements versus
+// the log2(p)·len(data) of recursive doubling.
+func rabenseifner(c *mpi.Comm, data []float32) error {
+	n := c.Size()
+	rank := c.Rank()
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	extra := n - p2
+
+	// Fold extras into the power-of-two core.
+	if rank >= p2 {
+		if err := c.SendFloats(rank-p2, tagRabFold, data); err != nil {
+			return err
+		}
+		b, err := c.Recv(rank-p2, tagRabBack)
+		if err != nil {
+			return err
+		}
+		mpi.DecodeFloat32s(data, b)
+		return nil
+	}
+	if rank < extra {
+		b, err := c.Recv(rank+p2, tagRabFold)
+		if err != nil {
+			return err
+		}
+		tmp := make([]float32, len(data))
+		mpi.DecodeFloat32s(tmp, b)
+		for i, v := range tmp {
+			data[i] += v
+		}
+	}
+
+	// Reduce-scatter by recursive halving: each round halves the interval
+	// this rank is responsible for, exchanging the other half with a
+	// partner at decreasing distance.
+	lo, hi := 0, len(data)
+	round := 0
+	for d := p2 / 2; d >= 1; d /= 2 {
+		partner := rank ^ d
+		mid := lo + (hi-lo)/2
+		var sendLo, sendHi, keepLo, keepHi int
+		if rank&d == 0 {
+			keepLo, keepHi = lo, mid
+			sendLo, sendHi = mid, hi
+		} else {
+			keepLo, keepHi = mid, hi
+			sendLo, sendHi = lo, mid
+		}
+		if err := c.SendFloats(partner, tagRabRS+round, data[sendLo:sendHi]); err != nil {
+			return err
+		}
+		b, err := c.Recv(partner, tagRabRS+round)
+		if err != nil {
+			return err
+		}
+		if len(b) != 4*(keepHi-keepLo) {
+			return fmt.Errorf("allreduce: rabenseifner RS size %d, want %d", len(b), 4*(keepHi-keepLo))
+		}
+		tmp := make([]float32, keepHi-keepLo)
+		mpi.DecodeFloat32s(tmp, b)
+		for i, v := range tmp {
+			data[keepLo+i] += v
+		}
+		lo, hi = keepLo, keepHi
+		round++
+	}
+
+	// Allgather by recursive doubling: exchange owned intervals with
+	// partners at increasing distance. Interval bounds ride in a small
+	// header since partners' intervals differ.
+	round = 0
+	for d := 1; d < p2; d <<= 1 {
+		partner := rank ^ d
+		msg := make([]byte, 8+4*(hi-lo))
+		binary.LittleEndian.PutUint32(msg[0:], uint32(lo))
+		binary.LittleEndian.PutUint32(msg[4:], uint32(hi))
+		mpi.EncodeFloat32s(msg[8:], data[lo:hi])
+		if err := c.Send(partner, tagRabAG+round, msg); err != nil {
+			return err
+		}
+		b, err := c.Recv(partner, tagRabAG+round)
+		if err != nil {
+			return err
+		}
+		if len(b) < 8 {
+			return fmt.Errorf("allreduce: rabenseifner AG short message (%d bytes)", len(b))
+		}
+		plo := int(binary.LittleEndian.Uint32(b[0:]))
+		phi := int(binary.LittleEndian.Uint32(b[4:]))
+		if phi < plo || phi > len(data) || len(b) != 8+4*(phi-plo) {
+			return fmt.Errorf("allreduce: rabenseifner AG bad interval [%d,%d) with %d bytes", plo, phi, len(b))
+		}
+		mpi.DecodeFloat32s(data[plo:phi], b[8:])
+		// Merge intervals (they are adjacent by construction).
+		if plo < lo {
+			lo = plo
+		}
+		if phi > hi {
+			hi = phi
+		}
+		round++
+	}
+	if lo != 0 || hi != len(data) {
+		return fmt.Errorf("allreduce: rabenseifner finished with partial interval [%d,%d)", lo, hi)
+	}
+
+	// Fan the result back out to the folded extras.
+	if rank < extra {
+		return c.SendFloats(rank+p2, tagRabBack, data)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package allreduce implements the gradient-summation collectives the paper
+// evaluates (Section 4.2, Figures 5-6): the multi-color k-ary-tree pipelined
+// allreduce (the paper's contribution), a pipelined single-root ring (the
+// paper's ring baseline), recursive doubling and Rabenseifner reduce-scatter/
+// allgather (standing in for the default OpenMPI algorithm), and the classic
+// bucket ring for ablation. All algorithms run over an mpi.Comm and reduce a
+// float32 vector in place with summation, leaving the result on every rank.
+package allreduce
+
+// Tree is one color's spanning tree in the multi-color allreduce: a k-ary
+// BFS tree over all n nodes whose interior (non-leaf) nodes are disjoint
+// from every other color's interior nodes, so each color's reduction work
+// lands on different hosts and different fat-tree uplinks (paper Figure 2).
+type Tree struct {
+	// Root is the node id at which this color's chunk is fully reduced.
+	Root int
+	// Parent maps node id -> parent node id (-1 for the root).
+	Parent []int
+	// Children maps node id -> child node ids in BFS order.
+	Children [][]int
+}
+
+// BuildTree constructs color c's k-ary BFS tree over n nodes. Nodes are
+// arranged in BFS positions over the rotated ordering
+// perm[p] = (p + c*rotation) mod n, which places each color's interior nodes
+// on a disjoint set of hosts when rotation >= interiorCount(n, arity).
+func BuildTree(n, arity, color, rotation int) Tree {
+	t := Tree{
+		Root:     (color * rotation) % n,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+	}
+	perm := func(p int) int { return (p + color*rotation) % n }
+	for p := 0; p < n; p++ {
+		node := perm(p)
+		if p == 0 {
+			t.Parent[node] = -1
+		} else {
+			t.Parent[node] = perm((p - 1) / arity)
+		}
+		for ch := arity*p + 1; ch <= arity*p+arity && ch < n; ch++ {
+			t.Children[node] = append(t.Children[node], perm(ch))
+		}
+	}
+	return t
+}
+
+// interiorCount returns the number of non-leaf positions in a k-ary BFS tree
+// over n nodes.
+func interiorCount(n, arity int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Position p is interior iff its first child exists: arity*p+1 <= n-1.
+	return (n-2)/arity + 1
+}
+
+// EffectiveColors returns the largest k' <= k for which k' rotated k'-ary
+// trees over n nodes have pairwise-disjoint interior sets. The paper uses
+// k = 4 on its 8..32-node cluster; for node counts where k trees cannot have
+// disjoint interiors the color count degrades gracefully.
+func EffectiveColors(n, k int) int {
+	if n <= 1 {
+		return 1
+	}
+	for ; k > 1; k-- {
+		rotation := n / k
+		if rotation >= 1 && interiorCount(n, k) <= rotation {
+			return k
+		}
+	}
+	return 1
+}
+
+// ChunkBounds returns the element range [lo, hi) of chunk i when length L is
+// split into k near-equal chunks.
+func ChunkBounds(length, k, i int) (lo, hi int) {
+	return i * length / k, (i + 1) * length / k
+}

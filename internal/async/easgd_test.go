@@ -1,0 +1,107 @@
+package async
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+	"repro/internal/tensor"
+)
+
+func runEASGD(t *testing.T, workers, steps, period int, alpha float32) (EASGDResult, *tensor.Tensor, []int) {
+	t.Helper()
+	const classes, size = 3, 8
+	dataX, dataLabels := core.SyntheticTensorData(24, classes, size, 19)
+	w := mpi.NewWorld(workers + 1)
+	defer w.Close()
+	var mu sync.Mutex
+	var res EASGDResult
+	err := w.Run(func(c *mpi.Comm) error {
+		replica := asyncTestModel(classes, size, int64(c.Rank())+300)
+		var source core.BatchSource
+		if c.Rank() > 0 {
+			source = &core.SliceSource{X: dataX, Labels: dataLabels, Rank: c.Rank() - 1, Ranks: workers}
+		}
+		r, err := RunEASGD(c, replica, source, 3, size, size, EASGDConfig{
+			StepsPerWorker: steps,
+			CommPeriod:     period,
+			Alpha:          alpha,
+			BatchPerWorker: 8,
+			LR:             0.1,
+			SGD:            sgd.Config{Momentum: 0},
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dataX, dataLabels
+}
+
+func TestEASGDExchangeCount(t *testing.T) {
+	res, _, _ := runEASGD(t, 3, 12, 4, 0.3)
+	// Each worker exchanges every 4 steps over 12 steps = 3 exchanges.
+	if res.Exchanges != 9 {
+		t.Fatalf("exchanges = %d, want 9", res.Exchanges)
+	}
+	if len(res.CenterWeights) == 0 {
+		t.Fatal("no center weights")
+	}
+}
+
+func TestEASGDCenterLearns(t *testing.T) {
+	res, dataX, dataLabels := runEASGD(t, 2, 60, 5, 0.4)
+	eval := asyncTestModel(3, 8, 888)
+	if err := nn.UnflattenValues(eval.Params(), res.CenterWeights); err != nil {
+		t.Fatal(err)
+	}
+	out := eval.Forward(dataX, false)
+	if acc := nn.Accuracy(out, dataLabels); acc < 0.7 {
+		t.Fatalf("EASGD center reached only %.2f accuracy", acc)
+	}
+}
+
+func TestEASGDCommunicatesLessThanPS(t *testing.T) {
+	// With CommPeriod 5, EASGD exchanges 1/5 of the parameter-server
+	// protocol's messages for the same local step count.
+	res, _, _ := runEASGD(t, 2, 20, 5, 0.3)
+	psUpdates := 2 * 20 // parameter server applies every gradient
+	if res.Exchanges*5 != psUpdates {
+		t.Fatalf("exchanges = %d, want %d (1/5 of PS updates)", res.Exchanges, psUpdates/5)
+	}
+}
+
+func TestEASGDConfigValidation(t *testing.T) {
+	w := mpi.NewWorld(2)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		m := asyncTestModel(2, 8, 1)
+		cases := []EASGDConfig{
+			{StepsPerWorker: 0, CommPeriod: 1, Alpha: 0.5, BatchPerWorker: 1},
+			{StepsPerWorker: 1, CommPeriod: 0, Alpha: 0.5, BatchPerWorker: 1},
+			{StepsPerWorker: 1, CommPeriod: 1, Alpha: 0, BatchPerWorker: 1},
+			{StepsPerWorker: 1, CommPeriod: 1, Alpha: 1.5, BatchPerWorker: 1},
+		}
+		for i, cfg := range cases {
+			if _, err := RunEASGD(c, m, nil, 3, 8, 8, cfg); err == nil {
+				return fmt.Errorf("case %d should error", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package checkpoint serializes and restores training state — model
+// weights, optimizer momentum, and progress counters — so long runs (the
+// paper's 90-epoch regime) survive restarts and models can be shipped for
+// inference. The format is self-describing: parameter names and sizes are
+// stored, and Load verifies them against the target model, so loading a
+// checkpoint into the wrong architecture fails loudly instead of silently
+// scrambling weights.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+)
+
+// Optimizer is the state-carrying optimizer interface both sgd.SGD and
+// sgd.LARS satisfy: momentum buffers exported/imported as one flat slice.
+type Optimizer interface {
+	StateLen() int
+	ExportState(dst []float32) error
+	ImportState(src []float32) error
+}
+
+const (
+	magic   = 0x54504B43 // "CKPT"
+	version = 1
+)
+
+// Checkpoint is a restorable training snapshot.
+type Checkpoint struct {
+	// Step and Epoch are progress counters, stored verbatim.
+	Step  int64
+	Epoch float64
+	// names/sizes describe the parameter list for validation on load.
+	names  []string
+	values [][]float32
+	// optState holds optimizer momentum (empty when saved without one).
+	optState []float32
+}
+
+// Capture snapshots the model (and optionally the optimizer; pass nil to
+// skip) at the given progress counters.
+func Capture(params []*nn.Param, opt Optimizer, step int64, epoch float64) (*Checkpoint, error) {
+	c := &Checkpoint{Step: step, Epoch: epoch}
+	for _, p := range params {
+		c.names = append(c.names, p.Name)
+		v := make([]float32, p.Value.Len())
+		copy(v, p.Value.Data)
+		c.values = append(c.values, v)
+	}
+	if opt != nil {
+		c.optState = make([]float32, opt.StateLen())
+		if err := opt.ExportState(c.optState); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Restore writes the snapshot back into the model (and optimizer when both
+// the checkpoint and opt carry state). Parameter names and sizes must match.
+func (c *Checkpoint) Restore(params []*nn.Param, opt Optimizer) error {
+	if len(params) != len(c.values) {
+		return fmt.Errorf("checkpoint: model has %d params, checkpoint %d", len(params), len(c.values))
+	}
+	for i, p := range params {
+		if p.Name != c.names[i] {
+			return fmt.Errorf("checkpoint: param %d is %q, checkpoint has %q", i, p.Name, c.names[i])
+		}
+		if p.Value.Len() != len(c.values[i]) {
+			return fmt.Errorf("checkpoint: param %q has %d elems, checkpoint %d", p.Name, p.Value.Len(), len(c.values[i]))
+		}
+	}
+	for i, p := range params {
+		copy(p.Value.Data, c.values[i])
+	}
+	if opt != nil && len(c.optState) > 0 {
+		if err := opt.ImportState(c.optState); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo implements io.WriterTo: a little-endian framed encoding.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(b []byte) error {
+		n, err := w.Write(b)
+		total += int64(n)
+		return err
+	}
+	hdr := make([]byte, 4+4+8+8+4)
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(c.Step))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(float64bits(c.Epoch)))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(c.values)))
+	if err := write(hdr); err != nil {
+		return total, err
+	}
+	for i, v := range c.values {
+		name := []byte(c.names[i])
+		frame := make([]byte, 2+len(name)+4)
+		binary.LittleEndian.PutUint16(frame, uint16(len(name)))
+		copy(frame[2:], name)
+		binary.LittleEndian.PutUint32(frame[2+len(name):], uint32(len(v)))
+		if err := write(frame); err != nil {
+			return total, err
+		}
+		if err := write(mpi.Float32sToBytes(v)); err != nil {
+			return total, err
+		}
+	}
+	var optHdr [4]byte
+	binary.LittleEndian.PutUint32(optHdr[:], uint32(len(c.optState)))
+	if err := write(optHdr[:]); err != nil {
+		return total, err
+	}
+	if len(c.optState) > 0 {
+		if err := write(mpi.Float32sToBytes(c.optState)); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Read parses a checkpoint written by WriteTo.
+func Read(r io.Reader) (*Checkpoint, error) {
+	hdr := make([]byte, 28)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, errors.New("checkpoint: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	c := &Checkpoint{
+		Step:  int64(binary.LittleEndian.Uint64(hdr[8:])),
+		Epoch: float64frombits(binary.LittleEndian.Uint64(hdr[16:])),
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[24:]))
+	if count < 0 || count > 1<<20 {
+		return nil, fmt.Errorf("checkpoint: implausible param count %d", count)
+	}
+	for i := 0; i < count; i++ {
+		var nameLen [2]byte
+		if _, err := io.ReadFull(r, nameLen[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: param %d name length: %w", i, err)
+		}
+		name := make([]byte, binary.LittleEndian.Uint16(nameLen[:]))
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("checkpoint: param %d name: %w", i, err)
+		}
+		var szBuf [4]byte
+		if _, err := io.ReadFull(r, szBuf[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: param %d size: %w", i, err)
+		}
+		sz := int(binary.LittleEndian.Uint32(szBuf[:]))
+		if sz < 0 || sz > 1<<30 {
+			return nil, fmt.Errorf("checkpoint: implausible param size %d", sz)
+		}
+		raw := make([]byte, 4*sz)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("checkpoint: param %d data: %w", i, err)
+		}
+		vals, err := mpi.BytesToFloat32s(raw)
+		if err != nil {
+			return nil, err
+		}
+		c.names = append(c.names, string(name))
+		c.values = append(c.values, vals)
+	}
+	var optHdr [4]byte
+	if _, err := io.ReadFull(r, optHdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: optimizer header: %w", err)
+	}
+	optLen := int(binary.LittleEndian.Uint32(optHdr[:]))
+	if optLen > 0 {
+		raw := make([]byte, 4*optLen)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("checkpoint: optimizer state: %w", err)
+		}
+		vals, err := mpi.BytesToFloat32s(raw)
+		if err != nil {
+			return nil, err
+		}
+		c.optState = vals
+	}
+	return c, nil
+}
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dimd"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ClusterConfig describes a full in-process training job: N learners on an
+// mpi.World, each with m device replicas, a data source, and the Algorithm 1
+// loop with optional periodic DIMD shuffles.
+type ClusterConfig struct {
+	Learners       int
+	DevicesPerNode int
+	// NewReplica builds one model replica; called Learners×DevicesPerNode
+	// times with distinct seeds (weights are then synced from rank 0).
+	NewReplica func(seed int64) nn.Layer
+	// NewSource builds learner rank's batch source.
+	NewSource func(rank int) BatchSource
+	// Stores, when non-nil, gives learner rank's DIMD store so the loop can
+	// run the periodic shuffle (paper Section 4.1); ShuffleEvery controls
+	// the cadence in steps (0 disables).
+	Stores       func(rank int) *dimd.Store
+	ShuffleEvery int
+	// ShuffleGroups splits learners into this many shuffle groups (0 or 1 =
+	// one global group).
+	ShuffleGroups          int
+	Steps                  int
+	InputC, InputH, InputW int
+	Learner                Config
+	// Eval, when non-nil, is called on learner 0 every EvalEvery steps with
+	// the current learner; use it to record accuracy curves.
+	Eval      func(step int, l *Learner)
+	EvalEvery int
+}
+
+// ClusterResult aggregates a run.
+type ClusterResult struct {
+	// Losses[r][t] is learner r's local loss at step t.
+	Losses [][]float64
+	// FinalWeights[r] is learner r's flattened final model.
+	FinalWeights [][]float32
+	// Phases[r] is learner r's cumulative per-phase wall time.
+	Phases []PhaseTimes
+}
+
+// RunCluster executes the job on an in-process world and returns per-step
+// losses and final weights. It is the harness behind the functional
+// experiments (accuracy invariance, serial-vs-distributed equivalence) and
+// the quickstart example.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	if cfg.Learners <= 0 || cfg.DevicesPerNode <= 0 {
+		return nil, fmt.Errorf("core: invalid cluster %d×%d", cfg.Learners, cfg.DevicesPerNode)
+	}
+	world := mpi.NewWorld(cfg.Learners)
+	defer world.Close()
+	res := &ClusterResult{
+		Losses:       make([][]float64, cfg.Learners),
+		FinalWeights: make([][]float32, cfg.Learners),
+		Phases:       make([]PhaseTimes, cfg.Learners),
+	}
+	var mu sync.Mutex
+	err := world.Run(func(c *mpi.Comm) error {
+		rank := c.Rank()
+		replicas := make([]nn.Layer, cfg.DevicesPerNode)
+		for d := range replicas {
+			replicas[d] = cfg.NewReplica(int64(rank*cfg.DevicesPerNode + d + 1))
+		}
+		l, err := NewLearner(c, replicas, cfg.NewSource(rank), cfg.InputC, cfg.InputH, cfg.InputW, cfg.Learner)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+
+		var shuffleComm *mpi.Comm
+		if cfg.Stores != nil && cfg.ShuffleEvery > 0 {
+			groups := cfg.ShuffleGroups
+			if groups <= 0 {
+				groups = 1
+			}
+			ranks, err := dimd.GroupRanks(c.Size(), groups, rank)
+			if err != nil {
+				return err
+			}
+			shuffleComm, err = c.Sub(ranks)
+			if err != nil {
+				return err
+			}
+		}
+
+		losses := make([]float64, 0, cfg.Steps)
+		for t := 0; t < cfg.Steps; t++ {
+			if shuffleComm != nil && t > 0 && t%cfg.ShuffleEvery == 0 {
+				if err := cfg.Stores(rank).Shuffle(shuffleComm, dimd.ShuffleOptions{Seed: int64(t)}); err != nil {
+					return fmt.Errorf("core: shuffle at step %d: %w", t, err)
+				}
+			}
+			loss, err := l.Step()
+			if err != nil {
+				return fmt.Errorf("core: rank %d step %d: %w", rank, t, err)
+			}
+			losses = append(losses, loss)
+			if cfg.Eval != nil && rank == 0 && cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+				cfg.Eval(t+1, l)
+			}
+		}
+		w, err := l.FlatWeights()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		res.Losses[rank] = losses
+		res.FinalWeights[rank] = w
+		res.Phases[rank] = l.Phases()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SyntheticTensorData materializes a deterministic labelled dataset of n
+// size×size RGB images directly as tensors (bypassing the codec) for fast
+// functional experiments: class-dependent blob patterns a small CNN can
+// learn, generated identically on every rank from the seed.
+func SyntheticTensorData(n, classes, size int, seed int64) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.New(n, 3, size, size)
+	labels := make([]int, n)
+	plane := size * size
+	for i := 0; i < n; i++ {
+		class := i % classes
+		labels[i] = class
+		classRng := tensor.NewRNG(seed*7919 + int64(class))
+		cx := classRng.Float64()*float64(size-4) + 2
+		cy := classRng.Float64()*float64(size-4) + 2
+		amp := 0.5 + classRng.Float64()
+		for ch := 0; ch < 3; ch++ {
+			chScale := float32(0.3 + 0.35*float64(ch)*classRng.Float64())
+			base := i*3*plane + ch*plane
+			for y := 0; y < size; y++ {
+				for xx := 0; xx < size; xx++ {
+					dx := float64(xx) - cx
+					dy := float64(y) - cy
+					v := amp * gauss(dx, dy, float64(size)/4)
+					noise := (rng.Float64() - 0.5) * 0.3
+					x.Data[base+y*size+xx] = chScale*float32(v) + float32(noise)
+				}
+			}
+		}
+	}
+	return x, labels
+}
+
+func gauss(dx, dy, s float64) float64 {
+	r2 := (dx*dx + dy*dy) / (2 * s * s)
+	if r2 > 30 { // clamp: exp underflows to denormals beyond this
+		return 0
+	}
+	return math.Exp(-r2)
+}

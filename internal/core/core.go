@@ -1,0 +1,321 @@
+// Package core implements the paper's primary contribution: the optimized
+// data-parallel synchronous SGD engine of Algorithm 1, wiring together the
+// DIMD in-memory data store (internal/dimd), the multi-color allreduce
+// (internal/allreduce) and the optimized Data-Parallel Table
+// (internal/dpt).
+//
+// One Learner is one MPI process on one compute node driving m local
+// devices. Each training iteration: the learner samples its share of the
+// global batch from its in-memory store, the DPT engine computes per-device
+// gradients, gradients are summed intra-node, summed across learners with
+// the configured MPI allreduce, broadcast back to the devices, and every
+// device applies the SGD update — leaving all replicas bitwise identical.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/allreduce"
+	"repro/internal/dimd"
+	"repro/internal/dpt"
+	"repro/internal/imagecodec"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+	"repro/internal/tensor"
+)
+
+// BatchSource produces one local mini-batch per call into x (shape
+// [Bnode, C, H, W]) and labels. Implementations: DIMDSource (the paper's
+// in-memory path), SliceSource (deterministic, for equivalence tests), and
+// any test double.
+type BatchSource interface {
+	NextBatch(x *tensor.Tensor, labels []int) error
+}
+
+// DIMDSource samples random batches from a learner's DIMD store, decoding
+// and augmenting on the fly — the paper's Figure 1 data path.
+type DIMDSource struct {
+	Store *dimd.Store
+	Aug   imagecodec.Augment
+	RNG   *tensor.RNG
+}
+
+// NextBatch implements BatchSource.
+func (s *DIMDSource) NextBatch(x *tensor.Tensor, labels []int) error {
+	return s.Store.SampleTensors(s.RNG, s.Aug, x, labels)
+}
+
+// FileSource samples batches from the baseline file-per-image layout
+// (dimd.FileStore) — the I/O path whose random small reads the paper
+// identifies as the scaling bottleneck that DIMD removes.
+type FileSource struct {
+	Store *dimd.FileStore
+	Aug   imagecodec.Augment
+	RNG   *tensor.RNG
+}
+
+// NextBatch implements BatchSource.
+func (s *FileSource) NextBatch(x *tensor.Tensor, labels []int) error {
+	batch, err := s.Store.RandomBatch(s.RNG, x.Dim(0))
+	if err != nil {
+		return err
+	}
+	return dimd.DecodeToTensors(batch, s.RNG, s.Aug, x, labels)
+}
+
+// SliceSource deals deterministic slices of a fixed dataset: on step t,
+// learner rank of numRanks receives rows
+// [t·B + rank·Bnode, t·B + (rank+1)·Bnode) mod N. It makes the distributed
+// run process exactly the same global batch as a serial run, which the
+// serial-vs-distributed equivalence tests rely on.
+type SliceSource struct {
+	X      *tensor.Tensor // full dataset [N, C, H, W]
+	Labels []int
+	Rank   int
+	Ranks  int
+	step   int
+}
+
+// NextBatch implements BatchSource. When the dataset size is not a multiple
+// of the global batch, slices wrap around the end of the dataset; wrapping
+// is deterministic, so the serial-vs-distributed alignment still holds.
+func (s *SliceSource) NextBatch(x *tensor.Tensor, labels []int) error {
+	bNode := x.Dim(0)
+	n := s.X.Dim(0)
+	if bNode > n {
+		return fmt.Errorf("core: node batch %d larger than dataset %d", bNode, n)
+	}
+	start := (s.step*bNode*s.Ranks + s.Rank*bNode) % n
+	rowLen := s.X.Len() / n
+	first := bNode
+	if start+first > n {
+		first = n - start
+	}
+	copy(x.Data, s.X.Data[start*rowLen:(start+first)*rowLen])
+	copy(labels, s.Labels[start:start+first])
+	if rest := bNode - first; rest > 0 {
+		copy(x.Data[first*rowLen:], s.X.Data[:rest*rowLen])
+		copy(labels[first:], s.Labels[:rest])
+	}
+	s.step++
+	return nil
+}
+
+// Config assembles a learner.
+type Config struct {
+	// BatchPerDevice is the paper's k (64 default, 32 for the record run).
+	BatchPerDevice int
+	// Allreduce selects the gradient-summation algorithm.
+	Allreduce allreduce.Algorithm
+	// AllreduceOpts tunes it.
+	AllreduceOpts allreduce.Options
+	// Schedule maps epochs to learning rates.
+	Schedule sgd.Schedule
+	// SGD sets momentum/weight decay.
+	SGD sgd.Config
+	// StepsPerEpoch converts the step counter to fractional epochs for the
+	// schedule. Zero means LR(0) throughout.
+	StepsPerEpoch int
+	// GradScale overrides the default 1/(ranks·devices) gradient scaling
+	// when nonzero (tests use 1 to inspect raw sums).
+	GradScale float32
+}
+
+// PhaseTimes accumulates wall time per Algorithm 1 phase — the step
+// decomposition the paper's evaluation reasons about (data loading vs
+// compute vs communication). All fields are cumulative seconds.
+type PhaseTimes struct {
+	Data      float64 // batch sampling/decoding (DIMD or file I/O)
+	Compute   float64 // per-device forward/backward via the DPT engine
+	IntraNode float64 // intra-node gradient summation
+	AllReduce float64 // inter-node MPI allreduce
+	Update    float64 // gradient broadcast to devices + SGD step
+}
+
+// Total returns the sum over phases.
+func (p PhaseTimes) Total() float64 {
+	return p.Data + p.Compute + p.IntraNode + p.AllReduce + p.Update
+}
+
+// Learner is one node of the distributed trainer.
+type Learner struct {
+	comm    *mpi.Comm
+	engine  *dpt.Engine
+	source  BatchSource
+	cfg     Config
+	opts    []*sgd.SGD
+	gradBuf []float32
+	x       *tensor.Tensor
+	labels  []int
+	step    int
+	scale   float32
+	phases  PhaseTimes
+}
+
+// NewLearner constructs a learner over comm from per-device model replicas.
+// Rank 0's weights are broadcast so every replica in the job starts
+// identical (Algorithm 1's "initialize W with identical values on all
+// GPUs"). inputC/H/W describe the model input (3×224×224 for the paper's
+// models; smaller for the functional experiments).
+func NewLearner(comm *mpi.Comm, replicas []nn.Layer, source BatchSource, inputC, inputH, inputW int, cfg Config) (*Learner, error) {
+	if cfg.BatchPerDevice <= 0 {
+		return nil, errors.New("core: BatchPerDevice must be positive")
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = sgd.Const(0.1)
+	}
+	if cfg.Allreduce == "" {
+		cfg.Allreduce = allreduce.AlgMultiColor
+	}
+	engine, err := dpt.New(replicas, true)
+	if err != nil {
+		return nil, err
+	}
+	l := &Learner{
+		comm:    comm,
+		engine:  engine,
+		source:  source,
+		cfg:     cfg,
+		gradBuf: make([]float32, engine.GradSize()),
+	}
+	m := engine.NumDevices()
+	bNode := cfg.BatchPerDevice * m
+	l.x = tensor.New(bNode, inputC, inputH, inputW)
+	l.labels = make([]int, bNode)
+	l.scale = cfg.GradScale
+	if l.scale == 0 {
+		l.scale = 1 / float32(comm.Size()*m)
+	}
+	for d := 0; d < m; d++ {
+		l.opts = append(l.opts, sgd.New(engine.Params(d), cfg.SGD))
+	}
+	if err := l.broadcastInitialWeights(); err != nil {
+		engine.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// broadcastInitialWeights synchronizes rank 0's replica-0 weights to every
+// device on every learner.
+func (l *Learner) broadcastInitialWeights() error {
+	flat := make([]float32, l.engine.GradSize())
+	if l.comm.Rank() == 0 {
+		if err := nn.FlattenValues(l.engine.Params(0), flat); err != nil {
+			return err
+		}
+	}
+	var payload []byte
+	if l.comm.Rank() == 0 {
+		payload = mpi.Float32sToBytes(flat)
+	}
+	got, err := l.comm.Bcast(0, payload)
+	if err != nil {
+		return err
+	}
+	if len(got) != 4*len(flat) {
+		return fmt.Errorf("core: weight bcast got %d bytes, want %d", len(got), 4*len(flat))
+	}
+	mpi.DecodeFloat32s(flat, got)
+	for d := 0; d < l.engine.NumDevices(); d++ {
+		if err := nn.UnflattenValues(l.engine.Params(d), flat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step runs one iteration of Algorithm 1 and returns this learner's local
+// mean loss. Per-phase wall times accumulate in Phases.
+func (l *Learner) Step() (float64, error) {
+	// 1. Sample Bnode images locally (random from the in-memory store).
+	t0 := time.Now()
+	if err := l.source.NextBatch(l.x, l.labels); err != nil {
+		return 0, fmt.Errorf("core: sampling batch: %w", err)
+	}
+	t1 := time.Now()
+	l.phases.Data += t1.Sub(t0).Seconds()
+	// 2-3. Per-device forward/backward; intra-node summation.
+	loss, err := l.engine.Step(l.x, l.labels)
+	if err != nil {
+		return 0, err
+	}
+	t2 := time.Now()
+	l.phases.Compute += t2.Sub(t1).Seconds()
+	if err := l.engine.SumGrads(l.gradBuf); err != nil {
+		return 0, err
+	}
+	t3 := time.Now()
+	l.phases.IntraNode += t3.Sub(t2).Seconds()
+	// 4. Global inter-node summation (MPI allreduce).
+	if err := allreduce.AllReduce(l.comm, l.gradBuf, l.cfg.Allreduce, l.cfg.AllreduceOpts); err != nil {
+		return 0, fmt.Errorf("core: allreduce: %w", err)
+	}
+	t4 := time.Now()
+	l.phases.AllReduce += t4.Sub(t3).Seconds()
+	// Normalize the sum of per-device partition means to the global batch
+	// mean so the learning rate has the Goyal semantics.
+	if l.scale != 1 {
+		for i := range l.gradBuf {
+			l.gradBuf[i] *= l.scale
+		}
+	}
+	// 5. Broadcast to local devices; 6. each device performs SGD.
+	if err := l.engine.SetGrads(l.gradBuf); err != nil {
+		return 0, err
+	}
+	lr := l.currentLR()
+	for _, o := range l.opts {
+		o.Step(lr)
+	}
+	l.phases.Update += time.Since(t4).Seconds()
+	l.step++
+	return loss, nil
+}
+
+// Phases returns the cumulative per-phase wall times.
+func (l *Learner) Phases() PhaseTimes { return l.phases }
+
+func (l *Learner) currentLR() float32 {
+	epoch := 0.0
+	if l.cfg.StepsPerEpoch > 0 {
+		epoch = float64(l.step) / float64(l.cfg.StepsPerEpoch)
+	}
+	return float32(l.cfg.Schedule.LR(epoch))
+}
+
+// StepCount returns the number of completed steps.
+func (l *Learner) StepCount() int { return l.step }
+
+// Engine exposes the DPT engine (weights, stats).
+func (l *Learner) Engine() *dpt.Engine { return l.engine }
+
+// FlatWeights returns a copy of the current model weights.
+func (l *Learner) FlatWeights() ([]float32, error) {
+	flat := make([]float32, l.engine.GradSize())
+	if err := nn.FlattenValues(l.engine.Params(0), flat); err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
+// Evaluate computes top-1 accuracy and mean loss of the current model over
+// the given tensors.
+func (l *Learner) Evaluate(x *tensor.Tensor, labels []int) (acc float64, loss float64, err error) {
+	logits, err := l.engine.Predict(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	crit := nn.NewSoftmaxCrossEntropy()
+	loss, err = crit.Forward(logits, labels)
+	if err != nil {
+		return 0, 0, err
+	}
+	return nn.Accuracy(logits, labels), loss, nil
+}
+
+// Close releases the device workers.
+func (l *Learner) Close() { l.engine.Close() }

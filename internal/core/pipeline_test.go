@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/allreduce"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+)
+
+// TestPipelinedMatchesSequential: overlapping the per-layer allreduces with
+// backward must be a pure scheduling change — the weights after several
+// steps equal the sequential Learner's to float tolerance.
+func TestPipelinedMatchesSequential(t *testing.T) {
+	const classes, size, learners, steps = 3, 8, 3, 5
+	dataX, dataLabels := SyntheticTensorData(36, classes, size, 41)
+
+	run := func(pipelined bool) [][]float32 {
+		t.Helper()
+		w := mpi.NewWorld(learners)
+		defer w.Close()
+		var mu sync.Mutex
+		weights := make([][]float32, learners)
+		err := w.Run(func(c *mpi.Comm) error {
+			model := bnFreeCNN(classes, size, int64(c.Rank())+80)
+			source := &SliceSource{X: dataX, Labels: dataLabels, Rank: c.Rank(), Ranks: learners}
+			cfg := Config{
+				BatchPerDevice: 4,
+				Allreduce:      allreduce.AlgMultiColor,
+				Schedule:       sgd.Const(0.05),
+				SGD:            sgd.DefaultConfig(),
+			}
+			var flat []float32
+			if pipelined {
+				l, err := NewPipelinedLearner(c, model.(*nn.Sequential), source, 3, size, size, cfg)
+				if err != nil {
+					return err
+				}
+				for s := 0; s < steps; s++ {
+					if _, err := l.Step(); err != nil {
+						return err
+					}
+				}
+				flat, err = l.FlatWeights()
+				if err != nil {
+					return err
+				}
+			} else {
+				l, err := NewLearner(c, []nn.Layer{model}, source, 3, size, size, cfg)
+				if err != nil {
+					return err
+				}
+				defer l.Close()
+				for s := 0; s < steps; s++ {
+					if _, err := l.Step(); err != nil {
+						return err
+					}
+				}
+				flat, err = l.FlatWeights()
+				if err != nil {
+					return err
+				}
+			}
+			mu.Lock()
+			weights[c.Rank()] = flat
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return weights
+	}
+
+	seq := run(false)
+	pip := run(true)
+	for r := range seq {
+		if len(seq[r]) != len(pip[r]) {
+			t.Fatalf("rank %d weight counts differ", r)
+		}
+		for i := range seq[r] {
+			if d := math.Abs(float64(seq[r][i] - pip[r][i])); d > 1e-5 {
+				t.Fatalf("rank %d weight[%d]: sequential %v vs pipelined %v", r, i, seq[r][i], pip[r][i])
+			}
+		}
+	}
+	// Pipelined learners also stay in sync across ranks.
+	for r := 1; r < learners; r++ {
+		for i := range pip[0] {
+			if pip[r][i] != pip[0][i] {
+				t.Fatalf("pipelined learners diverged at weight %d", i)
+			}
+		}
+	}
+}
+
+func TestPipelinedLearnerValidation(t *testing.T) {
+	w := mpi.NewWorld(1)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		if _, err := NewPipelinedLearner(c, bnFreeCNN(2, 8, 1).(*nn.Sequential), nil, 3, 8, 8, Config{BatchPerDevice: 0}); err == nil {
+			t.Error("zero batch should error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedLearnerConverges(t *testing.T) {
+	const classes, size = 3, 8
+	dataX, dataLabels := SyntheticTensorData(24, classes, size, 43)
+	w := mpi.NewWorld(2)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		model := bnFreeCNN(classes, size, int64(c.Rank())+90).(*nn.Sequential)
+		l, err := NewPipelinedLearner(c, model,
+			&SliceSource{X: dataX, Labels: dataLabels, Rank: c.Rank(), Ranks: 2},
+			3, size, size,
+			Config{BatchPerDevice: 6, Allreduce: allreduce.AlgMultiColor, Schedule: sgd.Const(0.1), SGD: sgd.DefaultConfig()})
+		if err != nil {
+			return err
+		}
+		var first, last float64
+		for s := 0; s < 50; s++ {
+			loss, err := l.Step()
+			if err != nil {
+				return err
+			}
+			if s == 0 {
+				first = loss
+			}
+			last = loss
+		}
+		if c.Rank() == 0 && last >= first/2 {
+			t.Errorf("pipelined training stalled: %v -> %v", first, last)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/allreduce"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+)
+
+// TestTrainerOverTCP runs the full Algorithm 1 loop with the learners
+// connected by real TCP sockets instead of the in-memory transport,
+// verifying the trainer is transport-agnostic end to end (the deployment
+// mode where each learner is a separate OS process).
+func TestTrainerOverTCP(t *testing.T) {
+	const learners = 2
+	const classes, size, steps = 3, 8, 5
+	dataX, dataLabels := SyntheticTensorData(24, classes, size, 33)
+
+	// Bring up TCP endpoints on dynamic localhost ports.
+	worlds := make([]*mpi.TCPWorld, learners)
+	addrs := make([]string, learners)
+	for i := range worlds {
+		placeholder := make([]string, learners)
+		for j := range placeholder {
+			placeholder[j] = "127.0.0.1:0"
+		}
+		w, err := mpi.NewTCPWorld(i, placeholder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds[i] = w
+		addrs[i] = w.Addr()
+	}
+	for _, w := range worlds {
+		w.SetAddrs(addrs)
+	}
+	defer func() {
+		for _, w := range worlds {
+			w.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, learners)
+	weights := make([][]float32, learners)
+	for rank := 0; rank < learners; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := worlds[rank].Comm()
+			if err != nil {
+				errs <- err
+				return
+			}
+			l, err := NewLearner(c,
+				[]nn.Layer{bnFreeCNN(classes, size, int64(rank)+60)},
+				&SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: learners},
+				3, size, size,
+				Config{
+					BatchPerDevice: 4,
+					Allreduce:      allreduce.AlgMultiColor,
+					Schedule:       sgd.Const(0.05),
+					SGD:            sgd.DefaultConfig(),
+				})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer l.Close()
+			for s := 0; s < steps; s++ {
+				if _, err := l.Step(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			w, err := l.FlatWeights()
+			if err != nil {
+				errs <- err
+				return
+			}
+			weights[rank] = w
+			errs <- nil
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The synchronous invariant must hold over TCP too.
+	for i := range weights[0] {
+		if weights[0][i] != weights[1][i] {
+			t.Fatalf("weights diverged over TCP at %d", i)
+		}
+	}
+}

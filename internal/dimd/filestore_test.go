@@ -1,0 +1,98 @@
+package dimd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func buildFileStore(t *testing.T, n int) *FileStore {
+	t.Helper()
+	fs, err := WriteFileStore(t.TempDir(), n, func(i int) (int, []byte) {
+		return i % 5, []byte(fmt.Sprintf("payload-%03d", i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFileStoreWriteAndRead(t *testing.T) {
+	fs := buildFileStore(t, 20)
+	if fs.Len() != 20 {
+		t.Fatalf("Len = %d", fs.Len())
+	}
+	rng := tensor.NewRNG(1)
+	batch, err := fs.RandomBatch(rng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range batch {
+		if !bytes.HasPrefix(r.Data, []byte("payload-")) {
+			t.Fatalf("bad payload %q", r.Data)
+		}
+		if r.Label < 0 || r.Label > 4 {
+			t.Fatalf("bad label %d", r.Label)
+		}
+	}
+}
+
+func TestOpenFileStore(t *testing.T) {
+	fs := buildFileStore(t, 10)
+	reopened, err := OpenFileStore(fs.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 10 {
+		t.Fatalf("reopened Len = %d", reopened.Len())
+	}
+	rng := tensor.NewRNG(2)
+	if _, err := reopened.RandomBatch(rng, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(t.TempDir()); err == nil {
+		t.Fatal("missing index should error")
+	}
+}
+
+func TestFileStoreToStore(t *testing.T) {
+	fs := buildFileStore(t, 12)
+	s, err := fs.ToStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 12 {
+		t.Fatalf("store Len = %d", s.Len())
+	}
+	// Every record migrated with correct label pairing.
+	for i := 0; i < s.Len(); i++ {
+		r := s.Record(i)
+		var idx int
+		if _, err := fmt.Sscanf(string(r.Data), "payload-%03d", &idx); err != nil {
+			t.Fatalf("bad migrated payload %q", r.Data)
+		}
+		if r.Label != int32(idx%5) {
+			t.Fatalf("label mismatch for %q: %d", r.Data, r.Label)
+		}
+	}
+}
+
+func TestFileStoreLabelConsistency(t *testing.T) {
+	fs := buildFileStore(t, 30)
+	rng := tensor.NewRNG(3)
+	batch, err := fs.RandomBatch(rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range batch {
+		var idx int
+		if _, err := fmt.Sscanf(string(r.Data), "payload-%03d", &idx); err != nil {
+			t.Fatal(err)
+		}
+		if r.Label != int32(idx%5) {
+			t.Fatalf("record %d has label %d", idx, r.Label)
+		}
+	}
+}

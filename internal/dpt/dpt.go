@@ -1,0 +1,376 @@
+// Package dpt reimplements Torch's Data-Parallel Table — the engine that
+// spreads a node's mini-batch across the GPUs attached to that node — in
+// both the stock form the paper criticizes (Figure 3) and the optimized form
+// it proposes (Figure 4, Section 4.3).
+//
+// Devices are goroutine workers owning a full model replica, standing in for
+// cuDNN streams on the node's four P100s. The two modes are numerically
+// identical (a test asserts it); they differ exactly where the paper says
+// the Torch implementation differs:
+//
+//   - Baseline: the entire input batch is first staged on device 1 and then
+//     scattered to the other devices (extra movement, extra memory on GPU 1);
+//     the criterion is evaluated serially outside the devices; and every
+//     per-device job finishes with an "ending callback" serialized through
+//     the single main thread.
+//   - Optimized: the batch is partitioned up front and sent directly to each
+//     device; the criterion runs on every device inside the same job; and
+//     the number of serialized callbacks per step drops to one per device.
+//
+// The struct records byte/serialization counters so tests and the cluster
+// simulator can account for the difference.
+package dpt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Stats counts the mechanical differences between the two scheduling modes.
+type Stats struct {
+	// Steps is the number of training steps executed.
+	Steps int64
+	// BytesMoved counts input-tensor bytes copied between host and device
+	// buffers (the baseline's device-1 staging doubles part of this).
+	BytesMoved int64
+	// Serializations counts ending callbacks funneled through the main
+	// thread.
+	Serializations int64
+	// CriterionSerial counts criterion evaluations performed serially on
+	// the main thread (baseline) rather than on the devices.
+	CriterionSerial int64
+}
+
+// device is one worker owning a model replica.
+type device struct {
+	id       int
+	model    nn.Layer
+	crit     *nn.SoftmaxCrossEntropy
+	params   []*nn.Param
+	jobs     chan func()
+	done     sync.WaitGroup
+	input    *tensor.Tensor // staged input partition
+	logits   *tensor.Tensor
+	loss     float64
+	partN    int
+	labelBuf []int
+}
+
+func (d *device) run() {
+	for job := range d.jobs {
+		job()
+		d.done.Done()
+	}
+}
+
+// submit schedules fn on the device thread.
+func (d *device) submit(fn func()) {
+	d.done.Add(1)
+	d.jobs <- fn
+}
+
+// Engine schedules training steps across the node's devices.
+type Engine struct {
+	devices   []*device
+	optimized bool
+	gradSize  int
+	mu        sync.Mutex
+	stats     Stats
+	closed    bool
+}
+
+// New builds an engine over the given model replicas (one per device, same
+// architecture). Weights are synchronized from replica 0, mirroring Torch's
+// replica broadcast at construction.
+func New(replicas []nn.Layer, optimized bool) (*Engine, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("dpt: need at least one device")
+	}
+	ref := replicas[0].Params()
+	e := &Engine{optimized: optimized, gradSize: nn.ParamCount(ref)}
+	for i, m := range replicas {
+		if i > 0 {
+			if err := nn.CopyValues(m.Params(), ref); err != nil {
+				return nil, fmt.Errorf("dpt: syncing replica %d: %w", i, err)
+			}
+		}
+		d := &device{
+			id:     i,
+			model:  m,
+			crit:   nn.NewSoftmaxCrossEntropy(),
+			params: m.Params(),
+			jobs:   make(chan func(), 4),
+		}
+		go d.run()
+		e.devices = append(e.devices, d)
+	}
+	return e, nil
+}
+
+// NumDevices returns the device count.
+func (e *Engine) NumDevices() int { return len(e.devices) }
+
+// GradSize returns the flattened gradient length (model parameter count).
+func (e *Engine) GradSize() int { return e.gradSize }
+
+// Params returns device dev's parameter list (device 0 is the reference
+// replica for weight export).
+func (e *Engine) Params(dev int) []*nn.Param { return e.devices[dev].params }
+
+// Optimized reports which scheduling mode the engine runs.
+func (e *Engine) Optimized() bool { return e.optimized }
+
+// Stats returns a snapshot of the scheduling counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close terminates the device workers.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, d := range e.devices {
+		close(d.jobs)
+	}
+}
+
+// partition splits batch rows across devices as evenly as possible.
+func (e *Engine) partition(n int) []int {
+	m := len(e.devices)
+	sizes := make([]int, m)
+	for i := range sizes {
+		sizes[i] = n / m
+		if i < n%m {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// Step runs one forward+backward over the node batch x (N,C,H,W) with
+// labels, leaving per-device gradients accumulated and returning the
+// batch-weighted mean loss. Gradients are zeroed at entry, matching
+// Algorithm 1's per-iteration gradient computation.
+func (e *Engine) Step(x *tensor.Tensor, labels []int) (float64, error) {
+	if e.closed {
+		return 0, errors.New("dpt: engine closed")
+	}
+	n := x.Dim(0)
+	if len(labels) != n {
+		return 0, fmt.Errorf("dpt: %d labels for batch %d", len(labels), n)
+	}
+	if n < len(e.devices) {
+		return 0, fmt.Errorf("dpt: batch %d smaller than device count %d", n, len(e.devices))
+	}
+	sizes := e.partition(n)
+	if e.optimized {
+		return e.stepOptimized(x, labels, sizes)
+	}
+	return e.stepBaseline(x, labels, sizes)
+}
+
+// stepOptimized implements Figure 4: partition up front, direct transfer,
+// criterion on every device, one serialized callback per device.
+func (e *Engine) stepOptimized(x *tensor.Tensor, labels []int, sizes []int) (float64, error) {
+	rowLen := x.Len() / x.Dim(0)
+	off := 0
+	for i, d := range e.devices {
+		lo, hi := off, off+sizes[i]
+		off = hi
+		part := x.MustSliceRows(lo, hi)
+		lbl := labels[lo:hi]
+		d.partN = hi - lo
+		d.submit(func() {
+			// Direct host->device transfer of just this partition.
+			d.input = part.Clone()
+			d.labelBuf = append(d.labelBuf[:0], lbl...)
+			nn.ZeroGrads(d.params)
+			out := d.model.Forward(d.input, true)
+			loss, err := d.crit.Forward(out, d.labelBuf)
+			if err != nil {
+				d.loss = -1
+				return
+			}
+			d.loss = loss
+			d.model.Backward(d.crit.Backward())
+		})
+		e.mu.Lock()
+		e.stats.BytesMoved += int64(4 * sizes[i] * rowLen)
+		e.mu.Unlock()
+	}
+	var loss float64
+	for _, d := range e.devices {
+		d.done.Wait()
+		// One ending callback per device per step.
+		e.mu.Lock()
+		e.stats.Serializations++
+		e.mu.Unlock()
+		if d.loss < 0 {
+			return 0, errors.New("dpt: criterion failed on device")
+		}
+		loss += d.loss * float64(d.partN)
+	}
+	e.mu.Lock()
+	e.stats.Steps++
+	e.mu.Unlock()
+	return loss / float64(x.Dim(0)), nil
+}
+
+// stepBaseline implements Figure 3: the full batch is staged on device 0,
+// scattered from there, forward and backward are separate serialized jobs,
+// and the criterion runs serially on the main thread.
+func (e *Engine) stepBaseline(x *tensor.Tensor, labels []int, sizes []int) (float64, error) {
+	rowLen := x.Len() / x.Dim(0)
+	// Phase 1: move the ENTIRE batch to device 0 (the extra staging copy
+	// the paper calls out), then scatter partitions to each device.
+	dev0 := e.devices[0]
+	var staged *tensor.Tensor
+	dev0.submit(func() { staged = x.Clone() })
+	dev0.done.Wait()
+	e.mu.Lock()
+	e.stats.BytesMoved += int64(4 * x.Len()) // host -> GPU1
+	e.stats.Serializations++                 // staging callback
+	e.mu.Unlock()
+
+	off := 0
+	for i, d := range e.devices {
+		lo, hi := off, off+sizes[i]
+		off = hi
+		part := staged.MustSliceRows(lo, hi)
+		d.partN = hi - lo
+		d.submit(func() {
+			d.input = part.Clone() // GPU1 -> GPUi
+			nn.ZeroGrads(d.params)
+		})
+		e.mu.Lock()
+		e.stats.BytesMoved += int64(4 * sizes[i] * rowLen)
+		e.mu.Unlock()
+	}
+	// Phase 2: forward on every device; each job's end is serialized.
+	for _, d := range e.devices {
+		d.done.Wait()
+		dd := d
+		d.submit(func() { dd.logits = dd.model.Forward(dd.input, true) })
+	}
+	var loss float64
+	off = 0
+	grads := make([]*tensor.Tensor, len(e.devices))
+	for i, d := range e.devices {
+		d.done.Wait()
+		e.mu.Lock()
+		e.stats.Serializations++ // forward ending callback
+		e.mu.Unlock()
+		// Phase 3: criterion NOT parallelized — evaluated on the main
+		// thread per partition.
+		lo, hi := off, off+sizes[i]
+		off = hi
+		l, err := d.crit.Forward(d.logits, labels[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		e.mu.Lock()
+		e.stats.CriterionSerial++
+		e.mu.Unlock()
+		loss += l * float64(hi-lo)
+		grads[i] = d.crit.Backward()
+	}
+	// Phase 4: backward on every device, again with serialized endings.
+	for i, d := range e.devices {
+		dd, g := d, grads[i]
+		d.submit(func() { dd.model.Backward(g) })
+	}
+	for _, d := range e.devices {
+		d.done.Wait()
+		e.mu.Lock()
+		e.stats.Serializations++ // backward ending callback
+		e.mu.Unlock()
+	}
+	e.mu.Lock()
+	e.stats.Steps++
+	e.mu.Unlock()
+	return loss / float64(x.Dim(0)), nil
+}
+
+// SumGrads performs the intra-node gradient summation of Algorithm 1
+// (∆Wi = Σj ∆Wij): device gradients are flattened and summed into dst,
+// which must have length GradSize.
+func (e *Engine) SumGrads(dst []float32) error {
+	if len(dst) != e.gradSize {
+		return fmt.Errorf("dpt: SumGrads dst %d, want %d", len(dst), e.gradSize)
+	}
+	tmp := make([]float32, e.gradSize)
+	for i, d := range e.devices {
+		buf := tmp
+		if i == 0 {
+			buf = dst
+		}
+		if err := nn.FlattenGrads(d.params, buf); err != nil {
+			return err
+		}
+		if i > 0 {
+			for j, v := range buf {
+				dst[j] += v
+			}
+		}
+	}
+	return nil
+}
+
+// SetGrads broadcasts a flattened gradient to every device (the intra-node
+// broadcast after the global allreduce in Algorithm 1).
+func (e *Engine) SetGrads(flat []float32) error {
+	for _, d := range e.devices {
+		if err := nn.UnflattenGrads(d.params, flat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict runs an inference pass (eval mode, no augmentation of state) over
+// x, returning logits. Partitions are processed on the devices in parallel.
+func (e *Engine) Predict(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if e.closed {
+		return nil, errors.New("dpt: engine closed")
+	}
+	n := x.Dim(0)
+	sizes := e.partition(n)
+	outs := make([]*tensor.Tensor, len(e.devices))
+	off := 0
+	for i, d := range e.devices {
+		lo, hi := off, off+sizes[i]
+		off = hi
+		if lo == hi {
+			continue
+		}
+		part := x.MustSliceRows(lo, hi)
+		dd, idx := d, i
+		d.submit(func() { outs[idx] = dd.model.Forward(part.Clone(), false) })
+	}
+	var classes int
+	for i, d := range e.devices {
+		d.done.Wait()
+		if outs[i] != nil {
+			classes = outs[i].Dim(1)
+		}
+	}
+	logits := tensor.New(n, classes)
+	off = 0
+	for i := range e.devices {
+		if outs[i] == nil {
+			continue
+		}
+		rows := outs[i].Dim(0)
+		copy(logits.Data[off*classes:], outs[i].Data)
+		off += rows
+	}
+	return logits, nil
+}

@@ -1,0 +1,179 @@
+// Package models builds the CNN architectures the paper trains — ResNet-50
+// and batch-normalized GoogLeNet — plus reduced variants (tiny ResNet, tiny
+// inception, SmallCNN) that make functional distributed-training experiments
+// tractable on CPU. All models are nn.Layer graphs over internal/nn layers.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Residual wraps a main path and an optional shortcut projection with the
+// post-addition ReLU, implementing He et al.'s residual connection:
+// y = ReLU(Body(x) + Shortcut(x)), Shortcut defaulting to identity.
+type Residual struct {
+	name     string
+	Body     nn.Layer
+	Shortcut nn.Layer // nil means identity
+	mask     []bool   // post-add ReLU mask
+}
+
+// NewResidual constructs a residual block. shortcut may be nil for identity.
+func NewResidual(name string, body, shortcut nn.Layer) *Residual {
+	return &Residual{name: name, Body: body, Shortcut: shortcut}
+}
+
+// Name implements nn.Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Params implements nn.Layer.
+func (r *Residual) Params() []*nn.Param {
+	ps := r.Body.Params()
+	if r.Shortcut != nil {
+		ps = append(ps, r.Shortcut.Params()...)
+	}
+	return ps
+}
+
+// Forward implements nn.Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := r.Body.Forward(x, train)
+	short := x
+	if r.Shortcut != nil {
+		short = r.Shortcut.Forward(x, train)
+	}
+	if !main.SameShape(short) {
+		panic(fmt.Sprintf("models: %s residual shapes differ: %v vs %v", r.name, main.Shape(), short.Shape()))
+	}
+	out := tensor.New(main.Shape()...)
+	if len(r.mask) < out.Len() {
+		r.mask = make([]bool, out.Len())
+	}
+	for i := range main.Data {
+		v := main.Data[i] + short.Data[i]
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements nn.Layer.
+func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := tensor.New(gradOut.Shape()...)
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			g.Data[i] = v
+		}
+	}
+	gradIn := r.Body.Backward(g)
+	if r.Shortcut != nil {
+		gradIn.Add(r.Shortcut.Backward(g))
+	} else {
+		gradIn.Add(g)
+	}
+	return gradIn
+}
+
+// Branches runs several sub-networks on the same input and concatenates
+// their outputs along the channel axis — the inception module's join. Every
+// branch must produce the same N, H, W.
+type Branches struct {
+	name     string
+	Paths    []nn.Layer
+	chansOut []int
+	inShape  []int
+}
+
+// NewBranches constructs a channel-concat container over paths.
+func NewBranches(name string, paths ...nn.Layer) *Branches {
+	return &Branches{name: name, Paths: paths}
+}
+
+// Name implements nn.Layer.
+func (b *Branches) Name() string { return b.name }
+
+// Params implements nn.Layer.
+func (b *Branches) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, p := range b.Paths {
+		ps = append(ps, p.Params()...)
+	}
+	return ps
+}
+
+// Forward implements nn.Layer.
+func (b *Branches) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b.inShape = append(b.inShape[:0], x.Shape()...)
+	outs := make([]*tensor.Tensor, len(b.Paths))
+	b.chansOut = b.chansOut[:0]
+	totalC := 0
+	for i, p := range b.Paths {
+		outs[i] = p.Forward(x, train)
+		if i > 0 {
+			if outs[i].Dim(0) != outs[0].Dim(0) || outs[i].Dim(2) != outs[0].Dim(2) || outs[i].Dim(3) != outs[0].Dim(3) {
+				panic(fmt.Sprintf("models: %s branch %d shape %v incompatible with %v", b.name, i, outs[i].Shape(), outs[0].Shape()))
+			}
+		}
+		b.chansOut = append(b.chansOut, outs[i].Dim(1))
+		totalC += outs[i].Dim(1)
+	}
+	n, h, w := outs[0].Dim(0), outs[0].Dim(2), outs[0].Dim(3)
+	out := tensor.New(n, totalC, h, w)
+	hw := h * w
+	for img := 0; img < n; img++ {
+		cOff := 0
+		for i, o := range outs {
+			c := b.chansOut[i]
+			src := o.Data[img*c*hw : (img+1)*c*hw]
+			dst := out.Data[(img*totalC+cOff)*hw : (img*totalC+cOff+c)*hw]
+			copy(dst, src)
+			cOff += c
+		}
+	}
+	return out
+}
+
+// Backward implements nn.Layer.
+func (b *Branches) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, h, w := gradOut.Dim(0), gradOut.Dim(2), gradOut.Dim(3)
+	totalC := gradOut.Dim(1)
+	hw := h * w
+	gradIn := tensor.New(b.inShape...)
+	cOff := 0
+	for i, p := range b.Paths {
+		c := b.chansOut[i]
+		gb := tensor.New(n, c, h, w)
+		for img := 0; img < n; img++ {
+			src := gradOut.Data[(img*totalC+cOff)*hw : (img*totalC+cOff+c)*hw]
+			dst := gb.Data[img*c*hw : (img+1)*c*hw]
+			copy(dst, src)
+		}
+		gradIn.Add(p.Backward(gb))
+		cOff += c
+	}
+	return gradIn
+}
+
+// convBN returns the conv→BN→ReLU unit both architectures are built from.
+func convBN(name string, inC, outC, kh, kw, sh, sw, ph, pw int, rng *tensor.RNG) *nn.Sequential {
+	return nn.NewSequential(name,
+		nn.NewConv2D(name+".conv", inC, outC, kh, kw, sh, sw, ph, pw, nn.ConvOpts{}, rng),
+		nn.NewBatchNorm2D(name+".bn", outC, rng),
+		nn.NewReLU(name+".relu"),
+	)
+}
+
+// convBNNoReLU is convBN without the activation (used before residual adds).
+func convBNNoReLU(name string, inC, outC, kh, kw, sh, sw, ph, pw int, rng *tensor.RNG) *nn.Sequential {
+	return nn.NewSequential(name,
+		nn.NewConv2D(name+".conv", inC, outC, kh, kw, sh, sw, ph, pw, nn.ConvOpts{}, rng),
+		nn.NewBatchNorm2D(name+".bn", outC, rng),
+	)
+}

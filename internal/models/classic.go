@@ -1,0 +1,131 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// The paper's introduction motivates distributed training with the image-
+// classification networks of the era: "AlexNet, GoogleNet, VGG, Resnet and
+// network in network (NiN)". This file builds the remaining three so the
+// library covers the full motivating workload set; the domain examples use
+// their tiny variants.
+
+// NewAlexNet builds AlexNet (Krizhevsky et al. 2012, the single-tower
+// torchvision variant) for 224×224 inputs: ~61 M parameters, the classic
+// conv/LRN/pool stem and the three giant FC layers.
+func NewAlexNet(numClasses int, rng *tensor.RNG) *nn.Sequential {
+	name := "alexnet"
+	return nn.NewSequential(name,
+		nn.NewConv2D(name+".c1", 3, 64, 11, 11, 4, 4, 2, 2, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU(name+".r1"),
+		nn.NewLRN(name+".lrn1", 5),
+		nn.NewMaxPool2D(name+".p1", 3, 3, 2, 2, 0, 0),
+		nn.NewConv2D(name+".c2", 64, 192, 5, 5, 1, 1, 2, 2, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU(name+".r2"),
+		nn.NewLRN(name+".lrn2", 5),
+		nn.NewMaxPool2D(name+".p2", 3, 3, 2, 2, 0, 0),
+		nn.NewConv2D(name+".c3", 192, 384, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU(name+".r3"),
+		nn.NewConv2D(name+".c4", 384, 256, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU(name+".r4"),
+		nn.NewConv2D(name+".c5", 256, 256, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU(name+".r5"),
+		nn.NewMaxPool2D(name+".p5", 3, 3, 2, 2, 0, 0),
+		nn.NewFlatten(name+".flatten"),
+		nn.NewDropout(name+".d1", 0.5, rng),
+		nn.NewLinear(name+".fc1", 256*6*6, 4096, rng),
+		nn.NewReLU(name+".r6"),
+		nn.NewDropout(name+".d2", 0.5, rng),
+		nn.NewLinear(name+".fc2", 4096, 4096, rng),
+		nn.NewReLU(name+".r7"),
+		nn.NewLinear(name+".fc3", 4096, numClasses, rng),
+	)
+}
+
+// NewVGG16 builds VGG-16 (Simonyan & Zisserman configuration D) for 224×224
+// inputs: ~138 M parameters, the largest reduction payload of the era.
+func NewVGG16(numClasses int, rng *tensor.RNG) *nn.Sequential {
+	name := "vgg16"
+	net := nn.NewSequential(name)
+	inC := 3
+	block := 0
+	for _, stage := range [][]int{{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}} {
+		for i, outC := range stage {
+			id := fmt.Sprintf("%s.b%d.c%d", name, block, i)
+			net.Append(
+				nn.NewConv2D(id, inC, outC, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+				nn.NewReLU(id+".relu"),
+			)
+			inC = outC
+		}
+		net.Append(nn.NewMaxPool2D(fmt.Sprintf("%s.b%d.pool", name, block), 2, 2, 2, 2, 0, 0))
+		block++
+	}
+	net.Append(
+		nn.NewFlatten(name+".flatten"),
+		nn.NewLinear(name+".fc1", 512*7*7, 4096, rng),
+		nn.NewReLU(name+".r1"),
+		nn.NewDropout(name+".d1", 0.5, rng),
+		nn.NewLinear(name+".fc2", 4096, 4096, rng),
+		nn.NewReLU(name+".r2"),
+		nn.NewDropout(name+".d2", 0.5, rng),
+		nn.NewLinear(name+".fc3", 4096, numClasses, rng),
+	)
+	return net
+}
+
+// NewNiN builds Network-in-Network (Lin et al. 2013) for 224×224 inputs:
+// three mlpconv blocks (a spatial conv followed by two 1×1 "MLP" convs)
+// and a global-average-pool classifier head — no FC layers at all.
+func NewNiN(numClasses int, rng *tensor.RNG) *nn.Sequential {
+	name := "nin"
+	mlpconv := func(id string, inC, outC, k, stride, pad int) *nn.Sequential {
+		return nn.NewSequential(id,
+			nn.NewConv2D(id+".c0", inC, outC, k, k, stride, stride, pad, pad, nn.ConvOpts{Bias: true}, rng),
+			nn.NewReLU(id+".r0"),
+			nn.NewConv2D(id+".c1", outC, outC, 1, 1, 1, 1, 0, 0, nn.ConvOpts{Bias: true}, rng),
+			nn.NewReLU(id+".r1"),
+			nn.NewConv2D(id+".c2", outC, outC, 1, 1, 1, 1, 0, 0, nn.ConvOpts{Bias: true}, rng),
+			nn.NewReLU(id+".r2"),
+		)
+	}
+	return nn.NewSequential(name,
+		mlpconv(name+".m1", 3, 96, 11, 4, 2),
+		nn.NewMaxPool2D(name+".p1", 3, 3, 2, 2, 0, 0),
+		mlpconv(name+".m2", 96, 256, 5, 1, 2),
+		nn.NewMaxPool2D(name+".p2", 3, 3, 2, 2, 0, 0),
+		mlpconv(name+".m3", 256, 384, 3, 1, 1),
+		nn.NewMaxPool2D(name+".p3", 3, 3, 2, 2, 0, 0),
+		nn.NewDropout(name+".drop", 0.5, rng),
+		mlpconv(name+".m4", 384, numClasses, 3, 1, 1),
+		nn.NewGlobalAvgPool(name+".gap"),
+		nn.NewFlatten(name+".flatten"),
+	)
+}
+
+// NewTinyAlexNet builds a reduced AlexNet-shaped network (conv/LRN/pool ×2,
+// one small FC head) over 32×32 inputs for functional experiments.
+func NewTinyAlexNet(numClasses int, rng *tensor.RNG) *nn.Sequential {
+	name := "tinyalexnet"
+	return nn.NewSequential(name,
+		nn.NewConv2D(name+".c1", 3, 16, 5, 5, 1, 1, 2, 2, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU(name+".r1"),
+		nn.NewLRN(name+".lrn1", 5),
+		nn.NewMaxPool2D(name+".p1", 2, 2, 2, 2, 0, 0),
+		nn.NewConv2D(name+".c2", 16, 32, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU(name+".r2"),
+		nn.NewLRN(name+".lrn2", 3),
+		nn.NewMaxPool2D(name+".p2", 2, 2, 2, 2, 0, 0),
+		nn.NewFlatten(name+".flatten"),
+		nn.NewLinear(name+".fc", 32*8*8, numClasses, rng),
+	)
+}
+
+// ParamBytes returns the fp32 gradient/weight payload of a model in bytes —
+// the allreduce payload its distributed training moves every step.
+func ParamBytes(net nn.Layer) int {
+	return 4 * nn.ParamCount(net.Params())
+}

@@ -1,0 +1,114 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestAlexNetParamCount(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	net := NewAlexNet(1000, rng)
+	n := nn.ParamCount(net.Params())
+	const want = 61_100_840 // torchvision alexnet
+	if n != want {
+		t.Fatalf("AlexNet params = %d, want %d", n, want)
+	}
+}
+
+func TestVGG16ParamCount(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	net := NewVGG16(1000, rng)
+	n := nn.ParamCount(net.Params())
+	const want = 138_357_544 // torchvision vgg16
+	if n != want {
+		t.Fatalf("VGG16 params = %d, want %d", n, want)
+	}
+}
+
+func TestNiNConstructsAndForwardShape(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := NewNiN(1000, rng)
+	n := nn.ParamCount(net.Params())
+	// NiN is ~7.6 M parameters at 1000 classes.
+	if n < 5_000_000 || n > 11_000_000 {
+		t.Fatalf("NiN params = %d, want ~7.6M", n)
+	}
+	if testing.Short() {
+		t.Skip("short mode: skipping NiN 224 forward")
+	}
+	x := tensor.New(1, 3, 224, 224)
+	rng.FillNormal(x, 0, 1)
+	y := net.Forward(x, false)
+	if y.Dim(0) != 1 || y.Dim(1) != 1000 {
+		t.Fatalf("NiN out shape %v", y.Shape())
+	}
+}
+
+func TestTinyAlexNetTrains(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	const n, classes, size = 8, 2, 32
+	net := NewTinyAlexNet(classes, rng)
+	x := tensor.New(n, 3, size, size)
+	rng.FillNormal(x, 0, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	ce := nn.NewSoftmaxCrossEntropy()
+	params := net.Params()
+	var first, last float64
+	for step := 0; step < 40; step++ {
+		nn.ZeroGrads(params)
+		out := net.Forward(x, true)
+		loss, err := ce.Forward(out, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(ce.Backward())
+		for _, p := range params {
+			p.Value.AddScaled(-0.05, p.Grad)
+		}
+	}
+	if last >= first {
+		t.Fatalf("tiny AlexNet loss did not fall: %v -> %v", first, last)
+	}
+}
+
+func TestParamBytesMatchesPaperPayloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := tensor.NewRNG(5)
+	r50 := ParamBytes(NewResNet50(1000, rng))
+	// The simulator's ResNet-50 payload constant must match the real model.
+	if r50 != 4*25557032 {
+		t.Fatalf("ResNet-50 payload %d bytes", r50)
+	}
+	vgg := ParamBytes(NewVGG16(1000, rng))
+	if vgg < 550_000_000 { // ~553 MB: why VGG is the communication stress case
+		t.Fatalf("VGG16 payload %d bytes, want ~553MB", vgg)
+	}
+}
+
+func TestAlexNetForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping AlexNet 224 forward")
+	}
+	rng := tensor.NewRNG(6)
+	net := NewAlexNet(10, rng)
+	x := tensor.New(1, 3, 224, 224)
+	rng.FillNormal(x, 0, 1)
+	y := net.Forward(x, false)
+	if y.Dim(1) != 10 {
+		t.Fatalf("AlexNet out shape %v", y.Shape())
+	}
+	if !y.AllFinite() {
+		t.Fatal("AlexNet produced non-finite outputs")
+	}
+}

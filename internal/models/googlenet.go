@@ -1,0 +1,156 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// inceptionSpec describes one BN-inception module: the four branch widths.
+// Following Ioffe & Szegedy's batch-normalized inception, the 5×5 branch of
+// the original GoogLeNet is replaced by a double 3×3, and every conv is
+// followed by batch norm (that is what makes the model "GoogLeNetBN").
+type inceptionSpec struct {
+	// out1 is the 1×1 branch width (0 disables the branch, as in the
+	// stride-2 reduction modules).
+	out1 int
+	// red3/out3 are the 1×1 reduce and 3×3 widths of the 3×3 branch.
+	red3, out3 int
+	// redD/outD are the reduce and output widths of the double-3×3 branch.
+	redD, outD int
+	// pool is the width of the pool-projection branch (0 = plain pool, used
+	// in reduction modules which concat the pooled input unprojected).
+	pool int
+	// stride 2 marks a reduction module (spatial downsample).
+	stride int
+	// avgPool selects average pooling for the pool branch (BN-inception
+	// uses avg pool in most modules, max pool in the reductions).
+	avgPool bool
+}
+
+// inception builds one module per spec.
+func inception(name string, inC int, sp inceptionSpec, rng *tensor.RNG) (*Branches, int) {
+	var paths []nn.Layer
+	outC := 0
+	if sp.out1 > 0 {
+		paths = append(paths, convBN(name+".b1", inC, sp.out1, 1, 1, 1, 1, 0, 0, rng))
+		outC += sp.out1
+	}
+	// 3×3 branch: 1×1 reduce then 3×3 (stride in the 3×3).
+	paths = append(paths, nn.NewSequential(name+".b3",
+		convBN(name+".b3.reduce", inC, sp.red3, 1, 1, 1, 1, 0, 0, rng),
+		convBN(name+".b3.conv", sp.red3, sp.out3, 3, 3, sp.stride, sp.stride, 1, 1, rng),
+	))
+	outC += sp.out3
+	// Double 3×3 branch.
+	paths = append(paths, nn.NewSequential(name+".bd",
+		convBN(name+".bd.reduce", inC, sp.redD, 1, 1, 1, 1, 0, 0, rng),
+		convBN(name+".bd.conv1", sp.redD, sp.outD, 3, 3, 1, 1, 1, 1, rng),
+		convBN(name+".bd.conv2", sp.outD, sp.outD, 3, 3, sp.stride, sp.stride, 1, 1, rng),
+	))
+	outC += sp.outD
+	// Pool branch.
+	var pool nn.Layer
+	if sp.avgPool {
+		pool = nn.NewAvgPool2D(name+".pool", 3, 3, sp.stride, sp.stride, 1, 1)
+	} else {
+		pool = nn.NewMaxPool2D(name+".pool", 3, 3, sp.stride, sp.stride, 1, 1)
+	}
+	if sp.pool > 0 {
+		paths = append(paths, nn.NewSequential(name+".bp", pool,
+			convBN(name+".bp.proj", inC, sp.pool, 1, 1, 1, 1, 0, 0, rng)))
+		outC += sp.pool
+	} else {
+		paths = append(paths, nn.NewSequential(name+".bp", pool))
+		outC += inC
+	}
+	return NewBranches(name, paths...), outC
+}
+
+// NewGoogLeNetBN builds the batch-normalized GoogLeNet (BN-Inception) for
+// 224×224 inputs — the paper's second workload. Module widths follow Ioffe &
+// Szegedy (2015), Table 1.
+func NewGoogLeNetBN(numClasses int, rng *tensor.RNG) *nn.Sequential {
+	name := "googlenetbn"
+	net := nn.NewSequential(name,
+		convBN(name+".stem1", 3, 64, 7, 7, 2, 2, 3, 3, rng),
+		nn.NewMaxPool2D(name+".pool1", 3, 3, 2, 2, 1, 1),
+		convBN(name+".stem2a", 64, 64, 1, 1, 1, 1, 0, 0, rng),
+		convBN(name+".stem2b", 64, 192, 3, 3, 1, 1, 1, 1, rng),
+		nn.NewMaxPool2D(name+".pool2", 3, 3, 2, 2, 1, 1),
+	)
+	inC := 192
+	specs := []inceptionSpec{
+		{out1: 64, red3: 64, out3: 64, redD: 64, outD: 96, pool: 32, stride: 1, avgPool: true},       // 3a
+		{out1: 64, red3: 64, out3: 96, redD: 64, outD: 96, pool: 64, stride: 1, avgPool: true},       // 3b
+		{out1: 0, red3: 128, out3: 160, redD: 64, outD: 96, pool: 0, stride: 2},                      // 3c (reduction)
+		{out1: 224, red3: 64, out3: 96, redD: 96, outD: 128, pool: 128, stride: 1, avgPool: true},    // 4a
+		{out1: 192, red3: 96, out3: 128, redD: 96, outD: 128, pool: 128, stride: 1, avgPool: true},   // 4b
+		{out1: 160, red3: 128, out3: 160, redD: 128, outD: 160, pool: 128, stride: 1, avgPool: true}, // 4c
+		{out1: 96, red3: 128, out3: 192, redD: 160, outD: 192, pool: 128, stride: 1, avgPool: true},  // 4d
+		{out1: 0, red3: 128, out3: 192, redD: 192, outD: 256, pool: 0, stride: 2},                    // 4e (reduction)
+		{out1: 352, red3: 192, out3: 320, redD: 160, outD: 224, pool: 128, stride: 1, avgPool: true}, // 5a
+		{out1: 352, red3: 192, out3: 320, redD: 192, outD: 224, pool: 128, stride: 1},                // 5b (max pool)
+	}
+	for i, sp := range specs {
+		mod, outC := inception(fmt.Sprintf("%s.inc%d", name, i), inC, sp, rng)
+		net.Append(mod)
+		inC = outC
+	}
+	net.Append(
+		nn.NewGlobalAvgPool(name+".gap"),
+		nn.NewFlatten(name+".flatten"),
+		nn.NewLinear(name+".fc", inC, numClasses, rng),
+	)
+	return net
+}
+
+// NewTinyInception builds a 3-module BN-inception over small images for
+// fast functional tests — the GoogLeNetBN counterpart of NewTinyResNet.
+func NewTinyInception(numClasses int, rng *tensor.RNG) *nn.Sequential {
+	name := "tinyinception"
+	net := nn.NewSequential(name,
+		convBN(name+".stem", 3, 16, 3, 3, 1, 1, 1, 1, rng),
+	)
+	inC := 16
+	specs := []inceptionSpec{
+		{out1: 8, red3: 8, out3: 8, redD: 8, outD: 8, pool: 8, stride: 1, avgPool: true},
+		{out1: 0, red3: 8, out3: 16, redD: 8, outD: 16, pool: 0, stride: 2},
+		{out1: 16, red3: 8, out3: 16, redD: 8, outD: 16, pool: 16, stride: 1, avgPool: true},
+	}
+	for i, sp := range specs {
+		mod, outC := inception(fmt.Sprintf("%s.inc%d", name, i), inC, sp, rng)
+		net.Append(mod)
+		inC = outC
+	}
+	net.Append(
+		nn.NewGlobalAvgPool(name+".gap"),
+		nn.NewFlatten(name+".flatten"),
+		nn.NewLinear(name+".fc", inC, numClasses, rng),
+	)
+	return net
+}
+
+// NewSmallCNN builds a plain conv-bn-relu-pool ×2 + FC classifier over
+// size×size 3-channel images: the fastest functional model, used by the
+// quickstart example and the serial-vs-distributed equivalence tests.
+func NewSmallCNN(numClasses, size int, rng *tensor.RNG) *nn.Sequential {
+	name := "smallcnn"
+	if size%4 != 0 {
+		panic(fmt.Sprintf("models: SmallCNN size %d must be divisible by 4", size))
+	}
+	final := size / 4
+	return nn.NewSequential(name,
+		nn.NewConv2D(name+".c1", 3, 8, 3, 3, 1, 1, 1, 1, nn.ConvOpts{}, rng),
+		nn.NewBatchNorm2D(name+".bn1", 8, rng),
+		nn.NewReLU(name+".r1"),
+		nn.NewMaxPool2D(name+".p1", 2, 2, 2, 2, 0, 0),
+		nn.NewConv2D(name+".c2", 8, 16, 3, 3, 1, 1, 1, 1, nn.ConvOpts{}, rng),
+		nn.NewBatchNorm2D(name+".bn2", 16, rng),
+		nn.NewReLU(name+".r2"),
+		nn.NewMaxPool2D(name+".p2", 2, 2, 2, 2, 0, 0),
+		nn.NewFlatten(name+".flatten"),
+		nn.NewLinear(name+".fc", 16*final*final, numClasses, rng),
+	)
+}

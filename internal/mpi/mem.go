@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"sync"
+)
+
+// mailbox holds undelivered messages for one rank, matched by (src, ctx, tag).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[msgKey][][]byte)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(k msgKey, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queues[k] = append(m.queues[k], data)
+	m.cond.Broadcast()
+	return nil
+}
+
+func (m *mailbox) get(k msgKey) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return msg, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// World is an in-process cluster: n ranks connected by a shared-memory
+// transport. Every experiment in this repository that needs "a cluster" runs
+// one goroutine per rank against a World, which stands in for the paper's
+// one-MPI-process-per-Minsky-node deployment.
+type World struct {
+	boxes []*mailbox
+}
+
+// NewWorld creates an in-process world with n ranks.
+func NewWorld(n int) *World {
+	w := &World{boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Comm returns the world communicator for the given global rank. Each rank's
+// goroutine must use its own Comm.
+func (w *World) Comm(rank int) (*Comm, error) {
+	group := make([]int, len(w.boxes))
+	for i := range group {
+		group[i] = i
+	}
+	return newComm(&memTransport{world: w, rank: rank}, rank, group, 1)
+}
+
+// MustComm is Comm but panics on error; for tests and examples.
+func (w *World) MustComm(rank int) *Comm {
+	c, err := w.Comm(rank)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Close shuts the world down; blocked receivers return ErrClosed.
+func (w *World) Close() {
+	for _, b := range w.boxes {
+		b.close()
+	}
+}
+
+// Run spawns fn on a goroutine per rank and waits for all to return,
+// collecting the first non-nil error. It is the harness used throughout the
+// tests and examples to stand up an in-process cluster.
+func (w *World) Run(fn func(c *Comm) error) error {
+	n := len(w.boxes)
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			c, err := w.Comm(rank)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- fn(c)
+		}(r)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// memTransport delivers messages by appending copies to the destination
+// mailbox; Send is buffered and never blocks on the receiver.
+type memTransport struct {
+	world *World
+	rank  int
+}
+
+// Send implements Transport.
+func (t *memTransport) Send(dst int, ctx uint64, tag int, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return t.world.boxes[dst].put(msgKey{src: t.rank, ctx: ctx, tag: tag}, cp)
+}
+
+// Recv implements Transport.
+func (t *memTransport) Recv(src int, ctx uint64, tag int) ([]byte, error) {
+	return t.world.boxes[t.rank].get(msgKey{src: src, ctx: ctx, tag: tag})
+}
+
+// NumRanks implements Transport.
+func (t *memTransport) NumRanks() int { return len(t.world.boxes) }

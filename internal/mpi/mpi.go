@@ -1,0 +1,199 @@
+// Package mpi implements the message-passing runtime the paper's distributed
+// SGD is programmed against: communicators with ranks, blocking point-to-point
+// send/receive, and the collectives Algorithm 1 and the DIMD shuffle use
+// (barrier, broadcast, reduce, gather, allgather, alltoallv). Transports are
+// pluggable: an in-process channel transport (the default for experiments,
+// standing in for shared-memory + InfiniBand on one simulated cluster) and a
+// TCP transport over net for genuinely separate processes.
+//
+// The package deliberately mirrors MPI semantics — communicators own an
+// isolated message context, sub-communicators are created collectively, and
+// message matching is (source, tag, context) — so the collective algorithms
+// in internal/allreduce read like their MPI counterparts in the paper.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Maximum tag value usable by applications; larger tags are reserved for
+// collectives' internal traffic.
+const MaxUserTag = 1 << 16
+
+// Reserved internal tag bases (all >= MaxUserTag).
+const (
+	tagBarrier = MaxUserTag + iota<<20
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllGather
+	tagAllToAll
+	tagAllReduce
+	tagSubComm
+)
+
+// ErrClosed is returned by operations on a communicator whose transport has
+// been shut down.
+var ErrClosed = errors.New("mpi: transport closed")
+
+// msgKey matches a message: sending global rank, communicator context, tag.
+type msgKey struct {
+	src int
+	ctx uint64
+	tag int
+}
+
+// Transport moves byte messages between global ranks. Send must not retain
+// data after returning; Recv blocks until a matching message arrives.
+type Transport interface {
+	Send(dst int, ctx uint64, tag int, data []byte) error
+	Recv(src int, ctx uint64, tag int) ([]byte, error)
+	// NumRanks returns the number of global ranks in the world.
+	NumRanks() int
+}
+
+// Comm is a communicator: an ordered group of ranks with an isolated message
+// context. The zero value is not usable; obtain communicators from a World
+// or from Comm.Sub.
+type Comm struct {
+	rank  int   // this process's rank within the communicator
+	group []int // communicator rank -> global rank
+	ctx   uint64
+	tr    Transport
+}
+
+// newComm builds a communicator over the given global ranks.
+func newComm(tr Transport, globalRank int, group []int, ctx uint64) (*Comm, error) {
+	rank := -1
+	for i, g := range group {
+		if g == globalRank {
+			rank = i
+			break
+		}
+	}
+	if rank < 0 {
+		return nil, fmt.Errorf("mpi: global rank %d not in group %v", globalRank, group)
+	}
+	return &Comm{rank: rank, group: append([]int(nil), group...), ctx: ctx, tr: tr}, nil
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// GlobalRank returns the world rank behind communicator rank r.
+func (c *Comm) GlobalRank(r int) int { return c.group[r] }
+
+// Send delivers data to communicator rank dst with the given tag (blocking,
+// buffered: returns once the message is enqueued at the destination).
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= len(c.group) {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, len(c.group))
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return c.tr.Send(c.group[dst], c.ctx, tag, data)
+}
+
+// Recv blocks until a message with the given source rank and tag arrives and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if src < 0 || src >= len(c.group) {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, len(c.group))
+	}
+	return c.tr.Recv(c.group[src], c.ctx, tag)
+}
+
+// SendFloats sends a float32 slice (little-endian encoded).
+func (c *Comm) SendFloats(dst, tag int, data []float32) error {
+	return c.Send(dst, tag, Float32sToBytes(data))
+}
+
+// RecvFloats receives a float32 slice sent with SendFloats.
+func (c *Comm) RecvFloats(src, tag int) ([]float32, error) {
+	b, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloat32s(b)
+}
+
+// Sub collectively creates a sub-communicator containing the given
+// communicator ranks (same list, same order, on every participating rank).
+// Ranks not in the list must not call Sub for this group. This is the
+// mechanism behind the paper's group-restricted DIMD shuffle ("this could be
+// efficiently implemented using the communicator group in MPI").
+func (c *Comm) Sub(ranks []int) (*Comm, error) {
+	if len(ranks) == 0 {
+		return nil, errors.New("mpi: empty sub-communicator")
+	}
+	global := make([]int, len(ranks))
+	seen := make(map[int]bool, len(ranks))
+	inGroup := false
+	for i, r := range ranks {
+		if r < 0 || r >= len(c.group) {
+			return nil, fmt.Errorf("mpi: sub rank %d out of range (size %d)", r, len(c.group))
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: duplicate rank %d in sub-communicator", r)
+		}
+		seen[r] = true
+		global[i] = c.group[r]
+		if r == c.rank {
+			inGroup = true
+		}
+	}
+	if !inGroup {
+		return nil, fmt.Errorf("mpi: calling rank %d not in sub-communicator %v", c.rank, ranks)
+	}
+	// Context derivation must be deterministic and identical on all members:
+	// hash the parent context and the member list.
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], c.ctx)
+	h.Write(buf[:])
+	for _, g := range global {
+		binary.LittleEndian.PutUint64(buf[:], uint64(g)+1)
+		h.Write(buf[:])
+	}
+	ctx := h.Sum64()
+	return newComm(c.tr, c.group[c.rank], global, ctx)
+}
+
+// Float32sToBytes encodes a float32 slice little-endian.
+func Float32sToBytes(src []float32) []byte {
+	b := make([]byte, 4*len(src))
+	EncodeFloat32s(b, src)
+	return b
+}
+
+// EncodeFloat32s encodes src into dst, which must be at least 4*len(src).
+func EncodeFloat32s(dst []byte, src []float32) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+// BytesToFloat32s decodes a little-endian float32 slice.
+func BytesToFloat32s(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mpi: float payload length %d not a multiple of 4", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	DecodeFloat32s(out, b)
+	return out, nil
+}
+
+// DecodeFloat32s decodes b into dst, which must hold len(b)/4 floats.
+func DecodeFloat32s(dst []float32, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}

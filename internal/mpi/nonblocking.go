@@ -1,0 +1,106 @@
+package mpi
+
+import "fmt"
+
+// Request is a handle to an in-flight non-blocking operation. Wait blocks
+// until completion and returns the received payload (nil for sends).
+type Request struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Wait blocks until the operation completes.
+func (r *Request) Wait() ([]byte, error) {
+	<-r.done
+	return r.data, r.err
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a non-blocking send. The data buffer must not be modified
+// until Wait returns (as in MPI; the in-memory transport copies eagerly but
+// the TCP transport writes from the caller's buffer).
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.err = c.Send(dst, tag, data)
+		close(r.done)
+	}()
+	return r
+}
+
+// Irecv starts a non-blocking receive matching (src, tag).
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.data, r.err = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReduceScatterFloats sums equal-length vectors across all ranks and leaves
+// each rank with its ChunkBounds-style share of the result: rank r receives
+// the summed elements [r·L/n, (r+1)·L/n). Ring algorithm, n-1 steps.
+func (c *Comm) ReduceScatterFloats(data []float32) ([]float32, error) {
+	n := c.Size()
+	rank := c.Rank()
+	chunk := func(i int) (int, int) {
+		i = ((i % n) + n) % n
+		return i * len(data) / n, (i + 1) * len(data) / n
+	}
+	if n == 1 {
+		lo, hi := chunk(0)
+		out := make([]float32, hi-lo)
+		copy(out, data[lo:hi])
+		return out, nil
+	}
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	work := make([]float32, len(data))
+	copy(work, data)
+	// Schedule offset -1 so the fully-reduced chunk lands at index rank.
+	for s := 0; s < n-1; s++ {
+		sLo, sHi := chunk(rank - s - 1)
+		if err := c.SendFloats(right, tagReduce+1024+s, work[sLo:sHi]); err != nil {
+			return nil, err
+		}
+		b, err := c.Recv(left, tagReduce+1024+s)
+		if err != nil {
+			return nil, err
+		}
+		rLo, rHi := chunk(rank - s - 2)
+		if len(b) != 4*(rHi-rLo) {
+			return nil, fmt.Errorf("mpi: reduce-scatter chunk %d bytes, want %d", len(b), 4*(rHi-rLo))
+		}
+		tmp := make([]float32, rHi-rLo)
+		DecodeFloat32s(tmp, b)
+		for i, v := range tmp {
+			work[rLo+i] += v
+		}
+	}
+	lo, hi := chunk(rank)
+	out := make([]float32, hi-lo)
+	copy(out, work[lo:hi])
+	return out, nil
+}

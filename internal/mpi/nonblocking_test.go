@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIsendIrecv(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			r1 := c.Isend(1, 1, []byte("a"))
+			r2 := c.Isend(1, 2, []byte("b"))
+			return WaitAll(r1, r2)
+		}
+		// Post receives before looking at either: out-of-order completion.
+		r2 := c.Irecv(0, 2)
+		r1 := c.Irecv(0, 1)
+		b2, err := r2.Wait()
+		if err != nil {
+			return err
+		}
+		b1, err := r1.Wait()
+		if err != nil {
+			return err
+		}
+		if string(b1) != "a" || string(b2) != "b" {
+			return fmt.Errorf("got %q %q", b1, b2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Send(1, 5, []byte("x"))
+		}
+		r := c.Irecv(0, 5)
+		if r.Test() {
+			return fmt.Errorf("request complete before send")
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if _, err := r.Wait(); err != nil {
+			return err
+		}
+		if !r.Test() {
+			return fmt.Errorf("request not complete after Wait")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		for _, length := range []int{1, 7, 64} {
+			if length < n {
+				continue
+			}
+			w := NewWorld(n)
+			err := w.Run(func(c *Comm) error {
+				data := make([]float32, length)
+				for i := range data {
+					data[i] = float32((c.Rank() + 1) * (i + 1))
+				}
+				got, err := c.ReduceScatterFloats(data)
+				if err != nil {
+					return err
+				}
+				lo := c.Rank() * length / n
+				hi := (c.Rank() + 1) * length / n
+				if len(got) != hi-lo {
+					return fmt.Errorf("rank %d got %d elems, want %d", c.Rank(), len(got), hi-lo)
+				}
+				var rankSum float32
+				for r := 1; r <= n; r++ {
+					rankSum += float32(r)
+				}
+				for i, v := range got {
+					want := rankSum * float32(lo+i+1)
+					if v != want {
+						return fmt.Errorf("rank %d elem %d = %v, want %v", c.Rank(), i, v, want)
+					}
+				}
+				return nil
+			})
+			w.Close()
+			if err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, length, err)
+			}
+		}
+	}
+}

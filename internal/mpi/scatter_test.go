@@ -1,0 +1,93 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestScatter(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		for root := 0; root < n; root++ {
+			w := NewWorld(n)
+			err := w.Run(func(c *Comm) error {
+				var send [][]byte
+				if c.Rank() == root {
+					send = make([][]byte, n)
+					for i := range send {
+						send[i] = bytes.Repeat([]byte{byte(i + 1)}, i+1)
+					}
+				}
+				got, err := c.Scatter(root, send)
+				if err != nil {
+					return err
+				}
+				want := bytes.Repeat([]byte{byte(c.Rank() + 1)}, c.Rank()+1)
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("rank %d got %v, want %v", c.Rank(), got, want)
+				}
+				return nil
+			})
+			w.Close()
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestScatterDoesNotAliasRootBuffer(t *testing.T) {
+	w := NewWorld(1)
+	defer w.Close()
+	err := w.Run(func(c *Comm) error {
+		src := [][]byte{{1, 2, 3}}
+		got, err := c.Scatter(0, src)
+		if err != nil {
+			return err
+		}
+		src[0][0] = 99
+		if got[0] != 1 {
+			return fmt.Errorf("scatter aliased the root buffer")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	c := w.MustComm(0)
+	if _, err := c.Scatter(5, nil); err == nil {
+		t.Fatal("bad root should error")
+	}
+	if _, err := c.Scatter(0, make([][]byte, 1)); err == nil {
+		t.Fatal("wrong buffer count should error")
+	}
+}
+
+func TestScanFloats(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		w := NewWorld(n)
+		err := w.Run(func(c *Comm) error {
+			data := []float32{float32(c.Rank() + 1), 2}
+			if err := c.ScanFloats(data); err != nil {
+				return err
+			}
+			var wantFirst float32
+			for r := 0; r <= c.Rank(); r++ {
+				wantFirst += float32(r + 1)
+			}
+			if data[0] != wantFirst || data[1] != float32(2*(c.Rank()+1)) {
+				return fmt.Errorf("rank %d scan got %v, want [%v %v]", c.Rank(), data, wantFirst, 2*(c.Rank()+1))
+			}
+			return nil
+		})
+		w.Close()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

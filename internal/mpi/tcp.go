@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPWorld connects ranks over TCP sockets, one listener per rank, for runs
+// where each learner is a separate OS process (or to exercise a real network
+// stack under the collectives). Frames are length-prefixed:
+// [src:4][ctx:8][tag:4][len:4][payload].
+type TCPWorld struct {
+	rank      int
+	addrs     []string
+	listener  net.Listener
+	box       *mailbox
+	mu        sync.Mutex
+	conns     map[int]net.Conn // outbound, keyed by peer rank
+	accepted  []net.Conn       // inbound, closed on shutdown
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+const tcpFrameHeader = 4 + 8 + 4 + 4
+
+// NewTCPWorld creates the transport endpoint for one rank. addrs lists every
+// rank's listen address in rank order; addrs[rank] is bound locally. Call
+// Close when done.
+func NewTCPWorld(rank int, addrs []string) (*TCPWorld, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("mpi: tcp rank %d out of range for %d addrs", rank, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: tcp listen %s: %w", addrs[rank], err)
+	}
+	w := &TCPWorld{
+		rank:     rank,
+		addrs:    append([]string(nil), addrs...),
+		listener: ln,
+		box:      newMailbox(),
+		conns:    make(map[int]net.Conn),
+	}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" dynamic ports).
+func (w *TCPWorld) Addr() string { return w.listener.Addr().String() }
+
+// SetAddrs replaces the peer address table (used after dynamic port
+// assignment, before any Send).
+func (w *TCPWorld) SetAddrs(addrs []string) { w.addrs = append([]string(nil), addrs...) }
+
+func (w *TCPWorld) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.mu.Lock()
+		w.accepted = append(w.accepted, conn)
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go w.readLoop(conn)
+	}
+}
+
+func (w *TCPWorld) readLoop(conn net.Conn) {
+	defer w.wg.Done()
+	defer conn.Close()
+	var hdr [tcpFrameHeader]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		src := int(int32(binary.LittleEndian.Uint32(hdr[0:])))
+		ctx := binary.LittleEndian.Uint64(hdr[4:])
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
+		n := binary.LittleEndian.Uint32(hdr[16:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if w.box.put(msgKey{src: src, ctx: ctx, tag: tag}, payload) != nil {
+			return
+		}
+	}
+}
+
+// Comm returns the world communicator for this rank.
+func (w *TCPWorld) Comm() (*Comm, error) {
+	group := make([]int, len(w.addrs))
+	for i := range group {
+		group[i] = i
+	}
+	return newComm(w, w.rank, group, 1)
+}
+
+// Send implements Transport.
+func (w *TCPWorld) Send(dst int, ctx uint64, tag int, data []byte) error {
+	if dst == w.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		return w.box.put(msgKey{src: w.rank, ctx: ctx, tag: tag}, cp)
+	}
+	conn, err := w.conn(dst)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, tcpFrameHeader+len(data))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(w.rank))
+	binary.LittleEndian.PutUint64(frame[4:], ctx)
+	binary.LittleEndian.PutUint32(frame[12:], uint32(tag))
+	binary.LittleEndian.PutUint32(frame[16:], uint32(len(data)))
+	copy(frame[tcpFrameHeader:], data)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("mpi: tcp send to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+func (w *TCPWorld) conn(dst int) (net.Conn, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c, ok := w.conns[dst]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", w.addrs[dst])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: tcp dial rank %d (%s): %w", dst, w.addrs[dst], err)
+	}
+	w.conns[dst] = c
+	return c, nil
+}
+
+// Recv implements Transport.
+func (w *TCPWorld) Recv(src int, ctx uint64, tag int) ([]byte, error) {
+	return w.box.get(msgKey{src: src, ctx: ctx, tag: tag})
+}
+
+// NumRanks implements Transport.
+func (w *TCPWorld) NumRanks() int { return len(w.addrs) }
+
+// Close shuts down the listener and all connections; pending receives
+// return ErrClosed.
+func (w *TCPWorld) Close() error {
+	w.closeOnce.Do(func() {
+		w.listener.Close()
+		w.mu.Lock()
+		for _, c := range w.conns {
+			c.Close()
+		}
+		// Accepted (inbound) connections must be closed too: their read
+		// loops otherwise block in ReadFull until the remote side closes,
+		// which may be waiting on us — a shutdown deadlock.
+		for _, c := range w.accepted {
+			c.Close()
+		}
+		w.mu.Unlock()
+		w.box.close()
+		w.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,158 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// startTCPCluster brings up n TCP ranks on dynamic localhost ports and
+// returns their worlds with the address table fully populated.
+func startTCPCluster(t *testing.T, n int) []*TCPWorld {
+	t.Helper()
+	worlds := make([]*TCPWorld, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		placeholder := make([]string, n)
+		for j := range placeholder {
+			placeholder[j] = "127.0.0.1:0"
+		}
+		w, err := NewTCPWorld(i, placeholder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds[i] = w
+		addrs[i] = w.Addr()
+	}
+	for _, w := range worlds {
+		w.SetAddrs(addrs)
+	}
+	t.Cleanup(func() {
+		for _, w := range worlds {
+			w.Close()
+		}
+	})
+	return worlds
+}
+
+func runTCP(t *testing.T, worlds []*TCPWorld, fn func(c *Comm) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(worlds))
+	for _, w := range worlds {
+		wg.Add(1)
+		go func(w *TCPWorld) {
+			defer wg.Done()
+			c, err := w.Comm()
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- fn(c)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	worlds := startTCPCluster(t, 2)
+	runTCP(t, worlds, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 4, []byte("over tcp"))
+		}
+		got, err := c.Recv(0, 4)
+		if err != nil {
+			return err
+		}
+		if string(got) != "over tcp" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	worlds := startTCPCluster(t, 1)
+	runTCP(t, worlds, func(c *Comm) error {
+		if err := c.Send(0, 1, []byte("self")); err != nil {
+			return err
+		}
+		got, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(got) != "self" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	const n = 4
+	worlds := startTCPCluster(t, n)
+	runTCP(t, worlds, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		data := []float32{float32(c.Rank() + 1)}
+		if err := c.AllReduceFloats(data); err != nil {
+			return err
+		}
+		if data[0] != 10 { // 1+2+3+4
+			return fmt.Errorf("rank %d tcp allreduce got %v, want 10", c.Rank(), data[0])
+		}
+		send := make([][]byte, n)
+		for i := range send {
+			send[i] = []byte{byte(c.Rank()), byte(i)}
+		}
+		got, err := c.AllToAllV(send)
+		if err != nil {
+			return err
+		}
+		for src := 0; src < n; src++ {
+			if got[src][0] != byte(src) || got[src][1] != byte(c.Rank()) {
+				return fmt.Errorf("tcp alltoallv wrong payload from %d: %v", src, got[src])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	worlds := startTCPCluster(t, 2)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	runTCP(t, worlds, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, big)
+		}
+		got, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(big) {
+			return fmt.Errorf("len %d, want %d", len(got), len(big))
+		}
+		for i := range got {
+			if got[i] != big[i] {
+				return fmt.Errorf("byte %d corrupt", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPInvalidRank(t *testing.T) {
+	if _, err := NewTCPWorld(3, []string{"127.0.0.1:0"}); err == nil {
+		t.Fatal("rank out of range should error")
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, applied elementwise.
+type ReLU struct {
+	name string
+	mask []bool // true where input was > 0
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if len(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(gradOut.Shape()...)
+	for i, g := range gradOut.Data {
+		if r.mask[i] {
+			gradIn.Data[i] = g
+		}
+	}
+	return gradIn
+}
+
+// Dropout zeroes a fraction P of activations during training and rescales
+// the survivors by 1/(1-P) (inverted dropout); it is the identity at
+// inference. GoogLeNet uses dropout before its classifier.
+type Dropout struct {
+	name string
+	P    float32
+	rng  *tensor.RNG
+	mask []float32
+}
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(name string, p float32, rng *tensor.RNG) *Dropout {
+	return &Dropout{name: name, P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		// Identity at inference; mark mask nil so Backward passes through.
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float32, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float32() >= d.P {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		} else {
+			d.mask[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return gradOut
+	}
+	gradIn := tensor.New(gradOut.Shape()...)
+	for i, g := range gradOut.Data {
+		gradIn.Data[i] = g * d.mask[i]
+	}
+	return gradIn
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel over the (N, H, W) axes with learnable
+// scale (gamma) and shift (beta), tracking running statistics for inference.
+// GoogLeNetBN — one of the paper's two workloads — is GoogLeNet with exactly
+// this layer inserted after every convolution.
+type BatchNorm2D struct {
+	name     string
+	C        int
+	Eps      float32
+	Momentum float32 // running-stat update rate, Torch default 0.1
+
+	Gamma, Beta             *Param
+	RunningMean, RunningVar *tensor.Tensor
+
+	// forward cache
+	lastInput    *tensor.Tensor
+	xhat         []float32
+	mean, invStd []float32
+}
+
+// NewBatchNorm2D constructs a batch norm over c channels with gamma=1, beta=0.
+func NewBatchNorm2D(name string, c int, rng *tensor.RNG) *BatchNorm2D {
+	_ = rng // init is deterministic; parameter kept for constructor symmetry
+	bn := &BatchNorm2D{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       &Param{Name: name + ".gamma", Value: tensor.Ones(c), Grad: tensor.New(c), NoWeightDecay: true},
+		Beta:        &Param{Name: name + ".beta", Value: tensor.New(c), Grad: tensor.New(c), NoWeightDecay: true},
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.Ones(c),
+		mean:        make([]float32, c),
+		invStd:      make([]float32, c),
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return b.name }
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NumDims() != 4 || x.Dim(1) != b.C {
+		panic(fmt.Sprintf("nn: %s forward shape %v, want [N %d H W]", b.name, x.Shape(), b.C))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hw := h * w
+	m := n * hw // samples per channel
+	out := tensor.New(n, b.C, h, w)
+	if train {
+		b.lastInput = x
+		if len(b.xhat) < x.Len() {
+			b.xhat = make([]float32, x.Len())
+		}
+		for c := 0; c < b.C; c++ {
+			var sum float64
+			for i := 0; i < n; i++ {
+				base := (i*b.C + c) * hw
+				for j := 0; j < hw; j++ {
+					sum += float64(x.Data[base+j])
+				}
+			}
+			mean := float32(sum / float64(m))
+			var varSum float64
+			for i := 0; i < n; i++ {
+				base := (i*b.C + c) * hw
+				for j := 0; j < hw; j++ {
+					d := float64(x.Data[base+j] - mean)
+					varSum += d * d
+				}
+			}
+			variance := float32(varSum / float64(m))
+			invStd := float32(1 / math.Sqrt(float64(variance)+float64(b.Eps)))
+			b.mean[c], b.invStd[c] = mean, invStd
+			// Torch updates running stats with the unbiased variance.
+			unbiased := variance
+			if m > 1 {
+				unbiased = variance * float32(m) / float32(m-1)
+			}
+			b.RunningMean.Data[c] = (1-b.Momentum)*b.RunningMean.Data[c] + b.Momentum*mean
+			b.RunningVar.Data[c] = (1-b.Momentum)*b.RunningVar.Data[c] + b.Momentum*unbiased
+			g, bias := b.Gamma.Value.Data[c], b.Beta.Value.Data[c]
+			for i := 0; i < n; i++ {
+				base := (i*b.C + c) * hw
+				for j := 0; j < hw; j++ {
+					xh := (x.Data[base+j] - mean) * invStd
+					b.xhat[base+j] = xh
+					out.Data[base+j] = g*xh + bias
+				}
+			}
+		}
+		return out
+	}
+	// Inference: use running statistics.
+	for c := 0; c < b.C; c++ {
+		mean := b.RunningMean.Data[c]
+		invStd := float32(1 / math.Sqrt(float64(b.RunningVar.Data[c])+float64(b.Eps)))
+		g, bias := b.Gamma.Value.Data[c], b.Beta.Value.Data[c]
+		for i := 0; i < n; i++ {
+			base := (i*b.C + c) * hw
+			for j := 0; j < hw; j++ {
+				out.Data[base+j] = g*(x.Data[base+j]-mean)*invStd + bias
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. Standard batch-norm backward:
+// dxhat = dy*gamma; dx = invStd/m * (m*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
+func (b *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := b.lastInput
+	if x == nil {
+		panic("nn: " + b.name + " Backward before Forward(train)")
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hw := h * w
+	m := float32(n * hw)
+	gradIn := tensor.New(n, b.C, h, w)
+	for c := 0; c < b.C; c++ {
+		g := b.Gamma.Value.Data[c]
+		invStd := b.invStd[c]
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			base := (i*b.C + c) * hw
+			for j := 0; j < hw; j++ {
+				dy := float64(gradOut.Data[base+j])
+				sumDy += dy
+				sumDyXhat += dy * float64(b.xhat[base+j])
+			}
+		}
+		b.Beta.Grad.Data[c] += float32(sumDy)
+		b.Gamma.Grad.Data[c] += float32(sumDyXhat)
+		k1 := float32(sumDy) / m
+		k2 := float32(sumDyXhat) / m
+		scale := g * invStd
+		for i := 0; i < n; i++ {
+			base := (i*b.C + c) * hw
+			for j := 0; j < hw; j++ {
+				dy := gradOut.Data[base+j]
+				gradIn.Data[base+j] = scale * (dy - k1 - b.xhat[base+j]*k2)
+			}
+		}
+	}
+	return gradIn
+}

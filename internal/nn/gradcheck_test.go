@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// lossOf runs x through layer then a fixed quadratic readout so the scalar
+// loss exercises every output element: L = sum(w_i * y_i) with fixed
+// pseudo-random weights. Returns the loss.
+func lossOf(layer Layer, x *tensor.Tensor, train bool) float64 {
+	y := layer.Forward(x, train)
+	var loss float64
+	for i, v := range y.Data {
+		loss += float64(v) * readoutWeight(i)
+	}
+	return loss
+}
+
+func readoutWeight(i int) float64 {
+	// Deterministic, irregular, O(1) weights so no output cancels out.
+	return math.Sin(float64(i)*0.7+0.3) + 0.1
+}
+
+// checkLayerGradients verifies both the input gradient returned by Backward
+// and every parameter gradient against central finite differences.
+func checkLayerGradients(t *testing.T, layer Layer, x *tensor.Tensor, eps float64, tol float64) {
+	t.Helper()
+	// Analytic pass.
+	ZeroGrads(layer.Params())
+	y := layer.Forward(x, true)
+	gradOut := tensor.New(y.Shape()...)
+	for i := range gradOut.Data {
+		gradOut.Data[i] = float32(readoutWeight(i))
+	}
+	gradIn := layer.Backward(gradOut)
+
+	check := func(name string, buf []float32, analytic []float32) {
+		for i := range buf {
+			orig := buf[i]
+			buf[i] = orig + float32(eps)
+			lp := lossOf(layer, x, true)
+			buf[i] = orig - float32(eps)
+			lm := lossOf(layer, x, true)
+			buf[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			got := float64(analytic[i])
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(got)))
+			if math.Abs(numeric-got)/scale > tol {
+				t.Fatalf("%s grad[%d]: analytic %v, numeric %v", name, i, got, numeric)
+			}
+		}
+	}
+
+	// Input gradient. Note: re-running Forward inside check refreshes layer
+	// caches, but Backward already ran, so analytic values are stable copies.
+	analyticIn := append([]float32(nil), gradIn.Data...)
+	check("input", x.Data, analyticIn)
+
+	// Parameter gradients: snapshot now, since check() mutates caches only.
+	for _, p := range layer.Params() {
+		analytic := append([]float32(nil), p.Grad.Data...)
+		check(p.Name, p.Value.Data, analytic)
+	}
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	conv := NewConv2D("c", 2, 3, 3, 3, 2, 2, 1, 1, ConvOpts{Bias: true}, rng)
+	x := tensor.New(2, 2, 5, 5)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, conv, x, 1e-2, 3e-2)
+}
+
+func TestConvNoBiasGradients(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	conv := NewConv2D("c", 1, 2, 3, 3, 1, 1, 1, 1, ConvOpts{}, rng)
+	if len(conv.Params()) != 1 {
+		t.Fatalf("bias-free conv has %d params, want 1", len(conv.Params()))
+	}
+	x := tensor.New(1, 1, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, conv, x, 1e-2, 3e-2)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	bn := NewBatchNorm2D("bn", 3, rng)
+	// Non-trivial gamma/beta so their gradients are exercised.
+	for i := range bn.Gamma.Value.Data {
+		bn.Gamma.Value.Data[i] = 0.5 + 0.3*float32(i)
+		bn.Beta.Value.Data[i] = 0.1 * float32(i)
+	}
+	x := tensor.New(4, 3, 3, 3)
+	rng.FillNormal(x, 1, 2)
+	// BN's loss surface is flatter; slightly looser tolerance. Running-stat
+	// updates during finite differencing do not affect train-mode output.
+	checkLayerGradients(t, bn, x, 1e-2, 4e-2)
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	lin := NewLinear("fc", 6, 4, rng)
+	x := tensor.New(3, 6)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, lin, x, 1e-2, 2e-2)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	pool := NewMaxPool2D("mp", 2, 2, 2, 2, 0, 0)
+	x := tensor.New(2, 2, 4, 4)
+	// Spread values so the argmax is stable under the FD perturbation.
+	rng.FillUniform(x, 0, 100)
+	checkLayerGradients(t, pool, x, 1e-3, 2e-2)
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	pool := NewAvgPool2D("ap", 3, 3, 2, 2, 1, 1)
+	x := tensor.New(2, 2, 5, 5)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, pool, x, 1e-2, 2e-2)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	pool := NewGlobalAvgPool("gap")
+	x := tensor.New(2, 3, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, pool, x, 1e-2, 2e-2)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	relu := NewReLU("r")
+	x := tensor.New(2, 10)
+	rng.FillNormal(x, 0, 1)
+	// Keep values away from the kink for finite differences.
+	for i, v := range x.Data {
+		if v > -0.05 && v < 0.05 {
+			x.Data[i] = 0.5
+		}
+	}
+	checkLayerGradients(t, relu, x, 1e-3, 2e-2)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	net := NewSequential("tiny",
+		NewConv2D("c1", 1, 4, 3, 3, 1, 1, 1, 1, ConvOpts{}, rng),
+		NewBatchNorm2D("bn1", 4, rng),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", 2, 2, 2, 2, 0, 0),
+		NewFlatten("fl"),
+		NewLinear("fc", 4*3*3, 5, rng),
+	)
+	x := tensor.New(2, 1, 6, 6)
+	rng.FillUniform(x, 0.1, 2)
+	checkLayerGradients(t, net, x, 1e-2, 6e-2)
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	const n, k = 4, 6
+	logits := tensor.New(n, k)
+	rng.FillNormal(logits, 0, 2)
+	labels := []int{1, 3, 0, 5}
+	ce := NewSoftmaxCrossEntropy()
+	if _, err := ce.Forward(logits, labels); err != nil {
+		t.Fatal(err)
+	}
+	grad := ce.Backward()
+	const eps = 1e-3
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := ce.Forward(logits, labels)
+		logits.Data[i] = orig - eps
+		lm, _ := ce.Forward(logits, labels)
+		logits.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-float64(grad.Data[i])) > 2e-3 {
+			t.Fatalf("CE grad[%d]: analytic %v, numeric %v", i, grad.Data[i], numeric)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully-connected layer y = x·Wᵀ + b over (N, in) input.
+// Weight layout is (out, in), matching Torch's nn.Linear.
+type Linear struct {
+	name         string
+	In, Out      int
+	Weight, Bias *Param
+	lastInput    *tensor.Tensor
+}
+
+// NewLinear constructs a fully-connected layer with Kaiming init.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	w := tensor.New(out, in)
+	rng.FillKaiming(w, in)
+	return &Linear{
+		name: name, In: in, Out: out,
+		Weight: &Param{Name: name + ".weight", Value: w, Grad: tensor.New(out, in)},
+		Bias:   &Param{Name: name + ".bias", Value: tensor.New(out), Grad: tensor.New(out), NoWeightDecay: true},
+	}
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NumDims() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s forward shape %v, want [N %d]", l.name, x.Shape(), l.In))
+	}
+	n := x.Dim(0)
+	l.lastInput = x
+	out := tensor.New(n, l.Out)
+	// y (n×out) = x (n×in) · Wᵀ (in×out); W stored out×in so transB.
+	tensor.Gemm(false, true, n, l.Out, l.In, 1, x.Data, l.Weight.Value.Data, 0, out.Data)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j, b := range l.Bias.Value.Data {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := l.lastInput
+	if x == nil {
+		panic("nn: " + l.name + " Backward before Forward")
+	}
+	n := x.Dim(0)
+	// dW (out×in) += gᵀ (out×n) · x (n×in)
+	tensor.Gemm(true, false, l.Out, l.In, n, 1, gradOut.Data, x.Data, 1, l.Weight.Grad.Data)
+	// db += column sums of g
+	for i := 0; i < n; i++ {
+		row := gradOut.Data[i*l.Out : (i+1)*l.Out]
+		for j, v := range row {
+			l.Bias.Grad.Data[j] += v
+		}
+	}
+	// dx (n×in) = g (n×out) · W (out×in)
+	gradIn := tensor.New(n, l.In)
+	tensor.Gemm(false, false, n, l.In, l.Out, 1, gradOut.Data, l.Weight.Value.Data, 0, gradIn.Data)
+	return gradIn
+}
+
+// Flatten reshapes (N, C, H, W) to (N, C*H*W) ahead of a Linear layer.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten constructs a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = append(f.lastShape[:0], x.Shape()...)
+	n := x.Dim(0)
+	return x.MustView(n, x.Len()/maxInt(n, 1))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.MustView(f.lastShape...)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

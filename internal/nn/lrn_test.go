@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestLRNForwardKnown(t *testing.T) {
+	l := NewLRN("lrn", 3)
+	l.Alpha, l.Beta, l.K = 3, 1, 1 // alpha/n = 1, beta 1: y = x/(1+sum)
+	// One pixel, 3 channels: x = [1, 2, 3].
+	x := tensor.MustFromSlice([]float32{1, 2, 3}, 1, 3, 1, 1)
+	y := l.Forward(x, true)
+	// c0 window {1,2}: s=1+1+4=6; c1 {1,2,3}: 1+14=15; c2 {2,3}: 1+13=14.
+	want := []float32{1.0 / 6, 2.0 / 15, 3.0 / 14}
+	for i := range want {
+		if math.Abs(float64(y.Data[i]-want[i])) > 1e-6 {
+			t.Fatalf("LRN out %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestLRNWindowWiderThanChannels(t *testing.T) {
+	l := NewLRN("lrn", 7)
+	x := tensor.New(2, 2, 3, 3)
+	tensor.NewRNG(1).FillNormal(x, 0, 1)
+	y := l.Forward(x, true)
+	if !y.AllFinite() {
+		t.Fatal("non-finite LRN output")
+	}
+}
+
+func TestLRNGradients(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	l := NewLRN("lrn", 3)
+	l.Alpha = 0.5 // larger alpha so the normalization term matters
+	x := tensor.New(2, 4, 2, 2)
+	rng.FillNormal(x, 0, 1)
+	checkLayerGradients(t, l, x, 1e-3, 2e-2)
+}
+
+func TestLRNEvenSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even LRN size should panic")
+		}
+	}()
+	NewLRN("lrn", 4)
+}
+
+func TestLRNNoParams(t *testing.T) {
+	l := NewLRN("lrn", 5)
+	if len(l.Params()) != 0 || l.Name() != "lrn" {
+		t.Fatal("LRN metadata wrong")
+	}
+}

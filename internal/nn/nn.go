@@ -1,0 +1,204 @@
+// Package nn implements neural-network layers with full forward and backward
+// passes on NCHW float32 tensors: convolution (im2col+GEMM), batch
+// normalization, pooling, linear, ReLU, dropout and the softmax cross-entropy
+// criterion. It replaces the cuDNN kernels the paper's Torch stack schedules;
+// the layer/criterion split mirrors Torch so the Data-Parallel Table engine
+// in internal/dpt can reproduce the paper's scheduling structure.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is one learnable parameter with its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter for debugging ("conv1.weight").
+	Name string
+	// Value is the parameter tensor, shared by reference with the layer.
+	Value *tensor.Tensor
+	// Grad accumulates the gradient; Layer.Backward adds into it.
+	Grad *tensor.Tensor
+	// NoWeightDecay marks parameters (BN scale/shift, biases) excluded from
+	// L2 regularization, following the Torch ResNet training recipe.
+	NoWeightDecay bool
+}
+
+// Layer is one differentiable module. Backward must be called after Forward
+// with a gradient of the same shape as Forward's output, and returns the
+// gradient with respect to Forward's input. Layers cache whatever they need
+// from the forward pass; a layer instance processes one batch at a time.
+type Layer interface {
+	// Forward computes the layer output. train selects training behaviour
+	// (batch statistics, active dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/d(output), accumulates parameter gradients, and
+	// returns dL/d(input).
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's learnable parameters (possibly empty).
+	Params() []*Param
+	// Name returns a short identifier for logs.
+	Name() string
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential builds a named sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// BackwardWithHook runs the backward pass invoking hook after each child
+// layer's parameter gradients are final (children are visited in backward
+// order: last layer first). It enables pipelining gradient communication
+// with the remaining backward compute, the optimization Goyal et al. use
+// and the paper's related-work section describes ("pipelined the
+// computation and communication of gradient of different layers").
+func (s *Sequential) BackwardWithHook(gradOut *tensor.Tensor, hook func(l Layer)) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+		if hook != nil {
+			hook(s.Layers[i])
+		}
+	}
+	return gradOut
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// ParamCount returns the total number of scalar parameters in ps.
+func ParamCount(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// FlattenGrads copies every parameter gradient into dst back-to-back, in
+// parameter order. This is the contiguous reduction payload handed to
+// MPI allreduce, matching how Torch-MPI flattens the gradient storage.
+func FlattenGrads(ps []*Param, dst []float32) error {
+	off := 0
+	for _, p := range ps {
+		n := p.Grad.Len()
+		if off+n > len(dst) {
+			return fmt.Errorf("nn: FlattenGrads dst too small: need > %d, have %d", off+n, len(dst))
+		}
+		copy(dst[off:off+n], p.Grad.Data)
+		off += n
+	}
+	if off != len(dst) {
+		return fmt.Errorf("nn: FlattenGrads dst size %d, want %d", len(dst), off)
+	}
+	return nil
+}
+
+// UnflattenGrads is the inverse of FlattenGrads: it scatters src back into
+// the parameter gradients.
+func UnflattenGrads(ps []*Param, src []float32) error {
+	off := 0
+	for _, p := range ps {
+		n := p.Grad.Len()
+		if off+n > len(src) {
+			return fmt.Errorf("nn: UnflattenGrads src too small: need > %d, have %d", off+n, len(src))
+		}
+		copy(p.Grad.Data, src[off:off+n])
+		off += n
+	}
+	if off != len(src) {
+		return fmt.Errorf("nn: UnflattenGrads src size %d, want %d", len(src), off)
+	}
+	return nil
+}
+
+// FlattenValues copies parameter values into dst (for weight broadcast).
+func FlattenValues(ps []*Param, dst []float32) error {
+	off := 0
+	for _, p := range ps {
+		n := p.Value.Len()
+		if off+n > len(dst) {
+			return fmt.Errorf("nn: FlattenValues dst too small")
+		}
+		copy(dst[off:off+n], p.Value.Data)
+		off += n
+	}
+	if off != len(dst) {
+		return fmt.Errorf("nn: FlattenValues dst size %d, want %d", len(dst), off)
+	}
+	return nil
+}
+
+// UnflattenValues scatters src into the parameter values.
+func UnflattenValues(ps []*Param, src []float32) error {
+	off := 0
+	for _, p := range ps {
+		n := p.Value.Len()
+		if off+n > len(src) {
+			return fmt.Errorf("nn: UnflattenValues src too small")
+		}
+		copy(p.Value.Data, src[off:off+n])
+		off += n
+	}
+	if off != len(src) {
+		return fmt.Errorf("nn: UnflattenValues src size %d, want %d", len(src), off)
+	}
+	return nil
+}
+
+// ZeroGrads clears every gradient accumulator.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.Grad.Zero()
+	}
+}
+
+// CopyValues copies parameter values from src to dst parameter lists, which
+// must describe identically shaped models (used to clone replicas across
+// devices and to broadcast the initial model, per Algorithm 1).
+func CopyValues(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyValues param count %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if dst[i].Value.Len() != src[i].Value.Len() {
+			return fmt.Errorf("nn: CopyValues param %d size %d vs %d", i, dst[i].Value.Len(), src[i].Value.Len())
+		}
+		copy(dst[i].Value.Data, src[i].Value.Data)
+	}
+	return nil
+}

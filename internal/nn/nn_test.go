@@ -1,0 +1,443 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestConvForwardKnownValues(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	conv := NewConv2D("c", 1, 1, 2, 2, 1, 1, 0, 0, ConvOpts{Bias: true}, rng)
+	conv.Weight.Value.CopyFrom(tensor.MustFromSlice([]float32{1, 2, 3, 4}, 4))
+	conv.Bias.Value.Data[0] = 10
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	y := conv.Forward(x, true)
+	// window(0,0) = 1+4+12+20 = 37; +bias = 47
+	want := tensor.MustFromSlice([]float32{47, 57, 77, 87}, 1, 1, 2, 2)
+	if !y.ApproxEqual(want, 1e-5) {
+		t.Fatalf("conv out %v, want %v", y.Data, want.Data)
+	}
+}
+
+func TestConvOutputShape(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	// The ResNet-50 stem: 7x7/2 pad 3, 224 -> 112.
+	conv := NewConv2D("stem", 3, 64, 7, 7, 2, 2, 3, 3, ConvOpts{}, rng)
+	x := tensor.New(1, 3, 224, 224)
+	y := conv.Forward(x, false)
+	if y.Dim(1) != 64 || y.Dim(2) != 112 || y.Dim(3) != 112 {
+		t.Fatalf("stem out shape %v, want [1 64 112 112]", y.Shape())
+	}
+}
+
+func TestConvShapeMismatchPanics(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	conv := NewConv2D("c", 3, 4, 3, 3, 1, 1, 1, 1, ConvOpts{}, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong channel count did not panic")
+		}
+	}()
+	conv.Forward(tensor.New(1, 2, 5, 5), false)
+}
+
+func TestBatchNormNormalizesTrainOutput(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	bn := NewBatchNorm2D("bn", 2, rng)
+	x := tensor.New(8, 2, 4, 4)
+	rng.FillNormal(x, 5, 3)
+	y := bn.Forward(x, true)
+	// With gamma=1, beta=0 each channel of y should be ~N(0,1).
+	n, hw := 8, 16
+	for c := 0; c < 2; c++ {
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			base := (i*2 + c) * hw
+			for j := 0; j < hw; j++ {
+				v := float64(y.Data[base+j])
+				sum += v
+				sq += v * v
+			}
+		}
+		m := float64(n * hw)
+		mean := sum / m
+		variance := sq/m - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d mean %v, want ~0", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d var %v, want ~1", c, variance)
+		}
+	}
+}
+
+func TestBatchNormRunningStatsConverge(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	bn := NewBatchNorm2D("bn", 1, rng)
+	x := tensor.New(16, 1, 8, 8)
+	for i := 0; i < 200; i++ {
+		rng.FillNormal(x, 2, 1.5)
+		bn.Forward(x, true)
+	}
+	if math.Abs(float64(bn.RunningMean.Data[0])-2) > 0.1 {
+		t.Fatalf("running mean %v, want ~2", bn.RunningMean.Data[0])
+	}
+	if math.Abs(float64(bn.RunningVar.Data[0])-2.25) > 0.25 {
+		t.Fatalf("running var %v, want ~2.25", bn.RunningVar.Data[0])
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	bn := NewBatchNorm2D("bn", 1, rng)
+	bn.RunningMean.Data[0] = 10
+	bn.RunningVar.Data[0] = 4
+	x := tensor.MustFromSlice([]float32{10, 12, 8, 10}, 1, 1, 2, 2)
+	y := bn.Forward(x, false)
+	// (x-10)/2 with eps tiny.
+	want := []float32{0, 1, -1, 0}
+	for i := range want {
+		if math.Abs(float64(y.Data[i]-want[i])) > 1e-3 {
+			t.Fatalf("eval BN out %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolForwardKnown(t *testing.T) {
+	pool := NewMaxPool2D("mp", 2, 2, 2, 2, 0, 0)
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	y := pool.Forward(x, false)
+	want := tensor.MustFromSlice([]float32{4, 8, 12, 16}, 1, 1, 2, 2)
+	if !y.ApproxEqual(want, 0) {
+		t.Fatalf("maxpool out %v, want %v", y.Data, want.Data)
+	}
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	pool := NewMaxPool2D("mp", 2, 2, 2, 2, 0, 0)
+	x := tensor.MustFromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 1, 2, 2)
+	pool.Forward(x, true)
+	g := pool.Backward(tensor.MustFromSlice([]float32{7}, 1, 1, 1, 1))
+	want := []float32{0, 0, 0, 7}
+	for i := range want {
+		if g.Data[i] != want[i] {
+			t.Fatalf("maxpool grad %v, want %v", g.Data, want)
+		}
+	}
+}
+
+func TestAvgPoolForwardKnown(t *testing.T) {
+	pool := NewAvgPool2D("ap", 2, 2, 2, 2, 0, 0)
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		1, 1, 1, 1,
+		1, 1, 1, 1,
+	}, 1, 1, 4, 4)
+	y := pool.Forward(x, false)
+	want := tensor.MustFromSlice([]float32{2.5, 6.5, 1, 1}, 1, 1, 2, 2)
+	if !y.ApproxEqual(want, 1e-6) {
+		t.Fatalf("avgpool out %v, want %v", y.Data, want.Data)
+	}
+}
+
+func TestGlobalAvgPoolKnown(t *testing.T) {
+	pool := NewGlobalAvgPool("gap")
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4, 10, 10, 10, 10}, 1, 2, 2, 2)
+	y := pool.Forward(x, false)
+	if y.Dim(1) != 2 || y.Data[0] != 2.5 || y.Data[1] != 10 {
+		t.Fatalf("gap out %v shape %v", y.Data, y.Shape())
+	}
+}
+
+func TestLinearForwardKnown(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	lin := NewLinear("fc", 2, 2, rng)
+	lin.Weight.Value.CopyFrom(tensor.MustFromSlice([]float32{1, 2, 3, 4}, 4))
+	lin.Bias.Value.CopyFrom(tensor.MustFromSlice([]float32{10, 20}, 2))
+	x := tensor.MustFromSlice([]float32{1, 1}, 1, 2)
+	y := lin.Forward(x, false)
+	// y = [1+2+10, 3+4+20]
+	if y.Data[0] != 13 || y.Data[1] != 27 {
+		t.Fatalf("linear out %v", y.Data)
+	}
+}
+
+func TestReLUForward(t *testing.T) {
+	r := NewReLU("r")
+	x := tensor.MustFromSlice([]float32{-1, 0, 2, -3}, 4)
+	y := r.Forward(x, true)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("relu out %v", y.Data)
+		}
+	}
+}
+
+func TestPropReLUNonNegative(t *testing.T) {
+	r := NewReLU("r")
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x := tensor.MustFromSlice(append([]float32(nil), vals...), len(vals))
+		y := r.Forward(x, true)
+		for i, v := range y.Data {
+			if v < 0 {
+				return false
+			}
+			if x.Data[i] > 0 && v != x.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	d := NewDropout("d", 0.5, rng)
+	x := tensor.Ones(10000)
+	y := d.Forward(x, true)
+	zeros := 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // survivors scaled by 1/(1-0.5)
+		default:
+			t.Fatalf("dropout value %v, want 0 or 2", v)
+		}
+	}
+	frac := float64(zeros) / float64(x.Len())
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("dropped fraction %v, want ~0.5", frac)
+	}
+	// Eval mode is identity (same tensor back).
+	if d.Forward(x, false) != x {
+		t.Fatal("eval dropout should return input unchanged")
+	}
+	g := d.Backward(tensor.Ones(10000))
+	if g.Len() != 10000 {
+		t.Fatal("eval backward should pass gradient through")
+	}
+}
+
+func TestDropoutBackwardUsesMask(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	d := NewDropout("d", 0.5, rng)
+	x := tensor.Ones(1000)
+	y := d.Forward(x, true)
+	g := d.Backward(tensor.Ones(1000))
+	for i := range g.Data {
+		if (y.Data[i] == 0) != (g.Data[i] == 0) {
+			t.Fatal("backward mask disagrees with forward mask")
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	ce := NewSoftmaxCrossEntropy()
+	logits := tensor.MustFromSlice([]float32{0, 0, 0, 0}, 1, 4)
+	loss, err := ce.Forward(logits, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("uniform CE loss %v, want ln(4)=%v", loss, math.Log(4))
+	}
+	grad := ce.Backward()
+	// grad = softmax - onehot = [.25 .25 -.75 .25]
+	want := []float32{0.25, 0.25, -0.75, 0.25}
+	for i := range want {
+		if math.Abs(float64(grad.Data[i]-want[i])) > 1e-6 {
+			t.Fatalf("CE grad %v, want %v", grad.Data, want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyErrors(t *testing.T) {
+	ce := NewSoftmaxCrossEntropy()
+	if _, err := ce.Forward(tensor.New(2, 3), []int{0}); err == nil {
+		t.Fatal("label count mismatch should error")
+	}
+	if _, err := ce.Forward(tensor.New(1, 3), []int{3}); err == nil {
+		t.Fatal("out-of-range label should error")
+	}
+	if _, err := ce.Forward(tensor.New(6), []int{0}); err == nil {
+		t.Fatal("1-D logits should error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.MustFromSlice([]float32{
+		1, 5, 2, // argmax 1
+		9, 0, 0, // argmax 0
+		1, 2, 3, // argmax 2
+	}, 3, 3)
+	if got := Accuracy(logits, []int{1, 0, 0}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy %v, want 2/3", got)
+	}
+	if got := TopKAccuracy(logits, []int{2, 1, 0}, 2); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("top-2 accuracy %v, want 2/3", got)
+	}
+	if got := TopKAccuracy(logits, []int{0, 0, 0}, 3); got != 1 {
+		t.Fatalf("top-3 accuracy %v, want 1", got)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten("fl")
+	x := tensor.New(2, 3, 4, 5)
+	y := f.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 60 {
+		t.Fatalf("flatten shape %v", y.Shape())
+	}
+	g := f.Backward(tensor.New(2, 60))
+	if g.NumDims() != 4 || g.Dim(3) != 5 {
+		t.Fatalf("unflatten shape %v", g.Shape())
+	}
+}
+
+func TestFlattenUnflattenGradsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	net := NewSequential("n",
+		NewConv2D("c", 1, 2, 3, 3, 1, 1, 1, 1, ConvOpts{Bias: true}, rng),
+		NewLinear("fc", 4, 3, rng),
+	)
+	ps := net.Params()
+	n := ParamCount(ps)
+	for _, p := range ps {
+		rng.FillNormal(p.Grad, 0, 1)
+	}
+	flat := make([]float32, n)
+	if err := FlattenGrads(ps, flat); err != nil {
+		t.Fatal(err)
+	}
+	saved := make([][]float32, len(ps))
+	for i, p := range ps {
+		saved[i] = append([]float32(nil), p.Grad.Data...)
+		p.Grad.Zero()
+	}
+	if err := UnflattenGrads(ps, flat); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		for j := range p.Grad.Data {
+			if p.Grad.Data[j] != saved[i][j] {
+				t.Fatal("grad flatten/unflatten not a round trip")
+			}
+		}
+	}
+	// Size mismatch errors.
+	if err := FlattenGrads(ps, make([]float32, n-1)); err == nil {
+		t.Fatal("short dst should error")
+	}
+	if err := UnflattenGrads(ps, make([]float32, n+1)); err == nil {
+		t.Fatal("long src should error")
+	}
+}
+
+func TestFlattenValuesRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	net := NewSequential("n", NewLinear("fc", 3, 2, rng))
+	ps := net.Params()
+	n := ParamCount(ps)
+	flat := make([]float32, n)
+	if err := FlattenValues(ps, flat); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]float32(nil), flat...)
+	for _, p := range ps {
+		p.Value.Zero()
+	}
+	if err := UnflattenValues(ps, orig); err != nil {
+		t.Fatal(err)
+	}
+	flat2 := make([]float32, n)
+	if err := FlattenValues(ps, flat2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat2 {
+		if flat2[i] != orig[i] {
+			t.Fatal("values flatten/unflatten not a round trip")
+		}
+	}
+}
+
+func TestCopyValues(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	a := NewLinear("a", 3, 2, rng)
+	b := NewLinear("b", 3, 2, rng)
+	if err := CopyValues(b.Params(), a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weight.Value.Data {
+		if b.Weight.Value.Data[i] != a.Weight.Value.Data[i] {
+			t.Fatal("CopyValues did not copy weights")
+		}
+	}
+	c := NewLinear("c", 4, 2, rng)
+	if err := CopyValues(c.Params(), a.Params()); err == nil {
+		t.Fatal("mismatched shapes should error")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	l := NewLinear("fc", 3, 2, rng)
+	rng.FillNormal(l.Weight.Grad, 1, 1)
+	ZeroGrads(l.Params())
+	if l.Weight.Grad.Sum() != 0 || l.Bias.Grad.Sum() != 0 {
+		t.Fatal("ZeroGrads left nonzero gradients")
+	}
+}
+
+func TestSequentialParamsAndNames(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	net := NewSequential("net",
+		NewConv2D("c1", 1, 2, 3, 3, 1, 1, 1, 1, ConvOpts{Bias: true}, rng),
+		NewBatchNorm2D("bn1", 2, rng),
+		NewReLU("r1"),
+	)
+	ps := net.Params()
+	if len(ps) != 4 { // conv w+b, bn gamma+beta
+		t.Fatalf("param count %d, want 4", len(ps))
+	}
+	if net.Name() != "net" {
+		t.Fatal("wrong name")
+	}
+	net.Append(NewReLU("r2"))
+	if len(net.Layers) != 4 {
+		t.Fatal("Append failed")
+	}
+	// NoWeightDecay marking: biases and BN params only.
+	decayable := 0
+	for _, p := range ps {
+		if !p.NoWeightDecay {
+			decayable++
+		}
+	}
+	if decayable != 1 {
+		t.Fatalf("decayable params %d, want 1 (conv weight)", decayable)
+	}
+}

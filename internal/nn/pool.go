@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over NCHW input.
+type MaxPool2D struct {
+	name             string
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+
+	lastShape []int
+	argmax    []int32 // flat input index chosen for each output element
+}
+
+// NewMaxPool2D constructs a max pool with the given geometry.
+func NewMaxPool2D(name string, kh, kw, strideH, strideW, padH, padW int) *MaxPool2D {
+	return &MaxPool2D{name: name, KH: kh, KW: kw, StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NumDims() != 4 {
+		panic(fmt.Sprintf("nn: %s forward shape %v, want 4-D", p.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, p.KH, p.StrideH, p.PadH)
+	ow := tensor.ConvOutSize(w, p.KW, p.StrideW, p.PadW)
+	out := tensor.New(n, c, oh, ow)
+	p.lastShape = []int{n, c, h, w}
+	if len(p.argmax) < out.Len() {
+		p.argmax = make([]int32, out.Len())
+	}
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			planeOff := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(-1)
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := plane[iy*w+ix]
+							if v > best {
+								best = v
+								bestIdx = int32(planeOff + iy*w + ix)
+							}
+						}
+					}
+					out.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient routes to the argmax positions.
+func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.lastShape == nil {
+		panic("nn: " + p.name + " Backward before Forward")
+	}
+	gradIn := tensor.New(p.lastShape...)
+	for i, g := range gradOut.Data {
+		if idx := p.argmax[i]; idx >= 0 {
+			gradIn.Data[idx] += g
+		}
+	}
+	return gradIn
+}
+
+// AvgPool2D is an average pooling layer over NCHW input. With kernel equal
+// to the full spatial extent it is the global average pool ending ResNet-50
+// and GoogLeNet.
+type AvgPool2D struct {
+	name             string
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	// CountIncludePad counts padded taps in the divisor (Torch default true
+	// for SpatialAveragePooling without the :setCountExcludePad flag).
+	CountIncludePad bool
+
+	lastShape []int
+}
+
+// NewAvgPool2D constructs an average pool.
+func NewAvgPool2D(name string, kh, kw, strideH, strideW, padH, padW int) *AvgPool2D {
+	return &AvgPool2D{name: name, KH: kh, KW: kw, StrideH: strideH, StrideW: strideW, PadH: padH, PadW: padW}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NumDims() != 4 {
+		panic(fmt.Sprintf("nn: %s forward shape %v, want 4-D", p.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, p.KH, p.StrideH, p.PadH)
+	ow := tensor.ConvOutSize(w, p.KW, p.StrideW, p.PadW)
+	out := tensor.New(n, c, oh, ow)
+	p.lastShape = []int{n, c, h, w}
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					count := 0
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								sum += plane[iy*w+ix]
+								count++
+							} else if p.CountIncludePad {
+								count++
+							}
+						}
+					}
+					if count > 0 {
+						out.Data[oi] = sum / float32(count)
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: each input tap in a window receives
+// grad/windowCount.
+func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.lastShape == nil {
+		panic("nn: " + p.name + " Backward before Forward")
+	}
+	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
+	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
+	gradIn := tensor.New(n, c, h, w)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := gradIn.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					// Recompute the divisor exactly as Forward did.
+					count := 0
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								count++
+							} else if p.CountIncludePad {
+								count++
+							}
+						}
+					}
+					if count == 0 {
+						oi++
+						continue
+					}
+					g := gradOut.Data[oi] / float32(count)
+					oi++
+					for ky := 0; ky < p.KH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.KW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							plane[iy*w+ix] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// GlobalAvgPool averages each channel plane to a single value, producing
+// (N, C, 1, 1).
+type GlobalAvgPool struct {
+	name      string
+	lastShape []int
+}
+
+// NewGlobalAvgPool constructs a global average pool.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.lastShape = []int{n, c, h, w}
+	out := tensor.New(n, c, 1, 1)
+	hw := float32(h * w)
+	for i := 0; i < n*c; i++ {
+		var s float32
+		for _, v := range x.Data[i*h*w : (i+1)*h*w] {
+			s += v
+		}
+		out.Data[i] = s / hw
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
+	gradIn := tensor.New(n, c, h, w)
+	hw := float32(h * w)
+	for i := 0; i < n*c; i++ {
+		g := gradOut.Data[i] / hw
+		plane := gradIn.Data[i*h*w : (i+1)*h*w]
+		for j := range plane {
+			plane[j] = g
+		}
+	}
+	return gradIn
+}

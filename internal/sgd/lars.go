@@ -1,0 +1,111 @@
+package sgd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// LARS implements Layer-wise Adaptive Rate Scaling (You, Gimelshein et al.),
+// the optimizer behind the 32k-batch KNL result the paper compares against
+// in Table 2 (You et al. [35], "100-epoch ImageNet Training with AlexNet in
+// 24 Minutes"). Each parameter tensor gets a local learning rate
+//
+//	local = eta · ‖w‖ / (‖g‖ + wd·‖w‖)
+//
+// so layers whose gradients are large relative to their weights take
+// proportionally smaller steps — the mechanism that keeps very large global
+// batches stable where plain momentum SGD diverges.
+type LARS struct {
+	cfg      Config
+	eta      float32
+	params   []*nn.Param
+	velocity [][]float32
+}
+
+// NewLARS builds a LARS optimizer. eta is the trust coefficient (You et al.
+// use 0.001-0.01; 0.001 is the common default).
+func NewLARS(params []*nn.Param, cfg Config, eta float32) *LARS {
+	o := &LARS{cfg: cfg, eta: eta, params: params, velocity: make([][]float32, len(params))}
+	for i, p := range params {
+		o.velocity[i] = make([]float32, p.Value.Len())
+	}
+	return o
+}
+
+// Step applies one LARS update with the given global learning rate.
+// Parameters flagged NoWeightDecay skip both the decay term and the layer
+// adaptation (standard practice for BN parameters and biases, whose norms
+// are not scale-invariant).
+func (o *LARS) Step(lr float32) {
+	for i, p := range o.params {
+		w := p.Value.Data
+		g := p.Grad.Data
+		v := o.velocity[i]
+		m := o.cfg.Momentum
+		wd := o.cfg.WeightDecay
+		local := float32(1)
+		if !p.NoWeightDecay {
+			var wNorm, gNorm float64
+			for j := range w {
+				wNorm += float64(w[j]) * float64(w[j])
+				gNorm += float64(g[j]) * float64(g[j])
+			}
+			wn := float32(math.Sqrt(wNorm))
+			gn := float32(math.Sqrt(gNorm))
+			denom := gn + wd*wn
+			if wn > 0 && denom > 0 {
+				local = o.eta * wn / denom
+			}
+		} else {
+			wd = 0
+		}
+		for j := range w {
+			grad := g[j] + wd*w[j]
+			v[j] = m*v[j] + lr*local*grad
+			w[j] -= v[j]
+		}
+	}
+}
+
+// StateLen mirrors SGD.StateLen for checkpointing.
+func (o *LARS) StateLen() int {
+	n := 0
+	for _, v := range o.velocity {
+		n += len(v)
+	}
+	return n
+}
+
+// ExportState copies the momentum buffers into dst (checkpointing).
+func (o *LARS) ExportState(dst []float32) error {
+	off := 0
+	for _, v := range o.velocity {
+		if off+len(v) > len(dst) {
+			return fmt.Errorf("sgd: LARS ExportState dst too small")
+		}
+		copy(dst[off:], v)
+		off += len(v)
+	}
+	if off != len(dst) {
+		return fmt.Errorf("sgd: LARS ExportState dst size %d, want %d", len(dst), off)
+	}
+	return nil
+}
+
+// ImportState restores momentum buffers written by ExportState.
+func (o *LARS) ImportState(src []float32) error {
+	off := 0
+	for _, v := range o.velocity {
+		if off+len(v) > len(src) {
+			return fmt.Errorf("sgd: LARS ImportState src too small")
+		}
+		copy(v, src[off:off+len(v)])
+		off += len(v)
+	}
+	if off != len(src) {
+		return fmt.Errorf("sgd: LARS ImportState src size %d, want %d", len(src), off)
+	}
+	return nil
+}

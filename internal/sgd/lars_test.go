@@ -1,0 +1,119 @@
+package sgd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func larsParam(vals, grads []float32, noDecay bool) *nn.Param {
+	v, _ := tensor.FromSlice(vals, len(vals))
+	g, _ := tensor.FromSlice(grads, len(grads))
+	return &nn.Param{Name: "p", Value: v, Grad: g, NoWeightDecay: noDecay}
+}
+
+func TestLARSLocalRateScalesWithNorms(t *testing.T) {
+	// ‖w‖=2, ‖g‖=4, wd=0, eta=0.1 -> local = 0.1·2/4 = 0.05.
+	// Update with lr=1, momentum 0: w -= 1·0.05·g.
+	p := larsParam([]float32{2, 0}, []float32{4, 0}, false)
+	o := NewLARS([]*nn.Param{p}, Config{Momentum: 0, WeightDecay: 0}, 0.1)
+	o.Step(1)
+	if math.Abs(float64(p.Value.Data[0]-(2-0.05*4))) > 1e-6 {
+		t.Fatalf("w = %v, want 1.8", p.Value.Data[0])
+	}
+}
+
+func TestLARSNoDecayParamUsesPlainStep(t *testing.T) {
+	// NoWeightDecay params bypass the adaptation: w -= lr·g.
+	p := larsParam([]float32{2}, []float32{4}, true)
+	o := NewLARS([]*nn.Param{p}, Config{Momentum: 0, WeightDecay: 0.1}, 0.001)
+	o.Step(0.5)
+	if math.Abs(float64(p.Value.Data[0]-0)) > 1e-6 {
+		t.Fatalf("w = %v, want 0 (2 - 0.5·4)", p.Value.Data[0])
+	}
+}
+
+func TestLARSStableWhereSGDDiverges(t *testing.T) {
+	// Pathological scale mismatch: huge gradient relative to weights.
+	// Plain SGD at this LR overshoots and oscillates divergently on
+	// f(w) = 500·‖w - t‖²; LARS's local rate keeps the step bounded.
+	target := []float32{1, -1}
+	runOpt := func(useLars bool) float64 {
+		p := larsParam([]float32{5, 5}, []float32{0, 0}, false)
+		sgdOpt := New([]*nn.Param{p}, Config{Momentum: 0.9})
+		larsOpt := NewLARS([]*nn.Param{p}, Config{Momentum: 0.9}, 0.01)
+		for i := 0; i < 400; i++ {
+			for j := range target {
+				p.Grad.Data[j] = 1000 * (p.Value.Data[j] - target[j])
+			}
+			if useLars {
+				larsOpt.Step(0.5)
+			} else {
+				sgdOpt.Step(0.5)
+			}
+		}
+		var dist float64
+		for j := range target {
+			d := float64(p.Value.Data[j] - target[j])
+			dist += d * d
+		}
+		return math.Sqrt(dist)
+	}
+	larsDist := runOpt(true)
+	sgdDist := runOpt(false)
+	if !(larsDist < 1) {
+		t.Fatalf("LARS did not converge: distance %v", larsDist)
+	}
+	if !(sgdDist > 10 || math.IsNaN(sgdDist) || math.IsInf(sgdDist, 0)) {
+		t.Fatalf("plain SGD unexpectedly stable (distance %v); test premise broken", sgdDist)
+	}
+}
+
+func TestLARSZeroWeightsFallBack(t *testing.T) {
+	// ‖w‖ = 0 would zero the local rate forever; LARS must fall back to
+	// local = 1 so fresh zero-initialized params can still learn.
+	p := larsParam([]float32{0, 0}, []float32{1, 1}, false)
+	o := NewLARS([]*nn.Param{p}, Config{Momentum: 0}, 0.001)
+	o.Step(0.1)
+	if p.Value.Data[0] == 0 {
+		t.Fatal("zero-norm parameter did not move")
+	}
+}
+
+func TestLARSTrainsSmallNet(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	net := nn.NewSequential("n",
+		nn.NewConv2D("c", 3, 4, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU("r"),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", 4*64, 3, rng),
+	)
+	o := NewLARS(net.Params(), Config{Momentum: 0.9, WeightDecay: 1e-4}, 0.02)
+	x := tensor.New(6, 3, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	labels := []int{0, 1, 2, 0, 1, 2}
+	ce := nn.NewSoftmaxCrossEntropy()
+	var first, last float64
+	for i := 0; i < 80; i++ {
+		nn.ZeroGrads(net.Params())
+		out := net.Forward(x, true)
+		loss, err := ce.Forward(out, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(ce.Backward())
+		o.Step(1)
+	}
+	if last >= first/2 {
+		t.Fatalf("LARS training stalled: %v -> %v", first, last)
+	}
+	if o.StateLen() != nn.ParamCount(net.Params()) {
+		t.Fatal("LARS state length mismatch")
+	}
+}

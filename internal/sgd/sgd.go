@@ -1,0 +1,172 @@
+// Package sgd implements the optimizer and learning-rate schedule the paper
+// trains with: mini-batch SGD with momentum and weight decay, under the
+// Goyal et al. warm-start schedule ("the starting learning rate was fixed at
+// 0.1, linearly ramped to 0.1·kn/256 where k is the batch size per GPU and n
+// the total number of workers; 90-epoch regime with the learning rate
+// dropped by a factor of 10 after every 30 epochs").
+package sgd
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Config sets the optimizer hyper-parameters. The defaults (momentum 0.9,
+// weight decay 1e-4) are the fb.resnet.torch recipe used by the paper.
+type Config struct {
+	Momentum    float32
+	WeightDecay float32
+}
+
+// DefaultConfig returns the paper's optimizer settings.
+func DefaultConfig() Config { return Config{Momentum: 0.9, WeightDecay: 1e-4} }
+
+// SGD holds per-parameter momentum state for one model replica.
+type SGD struct {
+	cfg      Config
+	params   []*nn.Param
+	velocity [][]float32
+}
+
+// New builds an optimizer over params.
+func New(params []*nn.Param, cfg Config) *SGD {
+	o := &SGD{cfg: cfg, params: params, velocity: make([][]float32, len(params))}
+	for i, p := range params {
+		o.velocity[i] = make([]float32, p.Value.Len())
+	}
+	return o
+}
+
+// Step applies one SGD update with the given learning rate, reading each
+// parameter's accumulated gradient: v = m·v + (g + wd·w); w -= lr·v.
+// Parameters flagged NoWeightDecay (BN scale/shift, biases) skip the decay
+// term, matching the Torch recipe.
+func (o *SGD) Step(lr float32) {
+	for i, p := range o.params {
+		v := o.velocity[i]
+		w := p.Value.Data
+		g := p.Grad.Data
+		wd := o.cfg.WeightDecay
+		if p.NoWeightDecay {
+			wd = 0
+		}
+		m := o.cfg.Momentum
+		for j := range w {
+			grad := g[j] + wd*w[j]
+			v[j] = m*v[j] + grad
+			w[j] -= lr * v[j]
+		}
+	}
+}
+
+// StateLen returns the total number of momentum scalars (equals the model's
+// parameter count).
+func (o *SGD) StateLen() int {
+	n := 0
+	for _, v := range o.velocity {
+		n += len(v)
+	}
+	return n
+}
+
+// ExportState copies the momentum buffers into dst back-to-back, in
+// parameter order — the optimizer half of a training checkpoint.
+func (o *SGD) ExportState(dst []float32) error {
+	off := 0
+	for _, v := range o.velocity {
+		if off+len(v) > len(dst) {
+			return fmt.Errorf("sgd: ExportState dst too small")
+		}
+		copy(dst[off:], v)
+		off += len(v)
+	}
+	if off != len(dst) {
+		return fmt.Errorf("sgd: ExportState dst size %d, want %d", len(dst), off)
+	}
+	return nil
+}
+
+// ImportState restores momentum buffers written by ExportState.
+func (o *SGD) ImportState(src []float32) error {
+	off := 0
+	for _, v := range o.velocity {
+		if off+len(v) > len(src) {
+			return fmt.Errorf("sgd: ImportState src too small")
+		}
+		copy(v, src[off:off+len(v)])
+		off += len(v)
+	}
+	if off != len(src) {
+		return fmt.Errorf("sgd: ImportState src size %d, want %d", len(src), off)
+	}
+	return nil
+}
+
+// Schedule maps a (fractional) epoch to a learning rate.
+type Schedule interface {
+	LR(epoch float64) float64
+}
+
+// WarmupStep is the paper's schedule: linear warmup from Base to Peak over
+// WarmupEpochs, then Peak scaled by DropFactor^(floor(epoch/DropEvery)).
+type WarmupStep struct {
+	// Base is the starting learning rate (0.1 in the paper).
+	Base float64
+	// Peak is the post-warmup learning rate (0.1·kn/256).
+	Peak float64
+	// WarmupEpochs is the ramp length (5 epochs in Goyal et al.).
+	WarmupEpochs float64
+	// DropEvery is the step period in epochs (30 in the paper).
+	DropEvery float64
+	// DropFactor is the multiplicative drop (0.1 in the paper).
+	DropFactor float64
+}
+
+// LR implements Schedule.
+func (s WarmupStep) LR(epoch float64) float64 {
+	if epoch < 0 {
+		epoch = 0
+	}
+	if epoch < s.WarmupEpochs && s.WarmupEpochs > 0 {
+		return s.Base + (s.Peak-s.Base)*epoch/s.WarmupEpochs
+	}
+	lr := s.Peak
+	if s.DropEvery > 0 {
+		drops := int(epoch / s.DropEvery)
+		for i := 0; i < drops; i++ {
+			lr *= s.DropFactor
+		}
+	}
+	return lr
+}
+
+// Goyal returns the paper's schedule for batch-per-GPU k and n total GPU
+// workers: base 0.1 ramped over 5 epochs to 0.1·kn/256, dropped 10× every
+// 30 epochs.
+func Goyal(batchPerGPU, workers int) WarmupStep {
+	return WarmupStep{
+		Base:         0.1,
+		Peak:         0.1 * float64(batchPerGPU*workers) / 256,
+		WarmupEpochs: 5,
+		DropEvery:    30,
+		DropFactor:   0.1,
+	}
+}
+
+// Const is a fixed learning rate, for small functional experiments.
+type Const float64
+
+// LR implements Schedule.
+func (c Const) LR(epoch float64) float64 { return float64(c) }
+
+// Validate sanity-checks a schedule configuration.
+func (s WarmupStep) Validate() error {
+	if s.Base <= 0 || s.Peak <= 0 {
+		return fmt.Errorf("sgd: non-positive learning rates %v/%v", s.Base, s.Peak)
+	}
+	if s.DropFactor <= 0 || s.DropFactor > 1 {
+		return fmt.Errorf("sgd: drop factor %v outside (0,1]", s.DropFactor)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package simcluster
+
+import (
+	"math"
+)
+
+// The accuracy model behind Figures 13-16 and the accuracy columns of
+// Tables 1-2. The paper presents these curves "to ensure correctness and
+// completeness" — the claim is that the optimizations do not change
+// convergence (validated functionally in internal/core's invariance tests).
+// Reproducing the plots at ImageNet scale is not possible on this substrate,
+// so the curves are a calibrated model: per-LR-stage exponential approach to
+// stage plateaus, anchored to the paper's reported peak accuracies.
+
+// PeakAccuracy returns the final top-1 validation accuracy (percent) for
+// the given model and learner count, anchored to Table 1 (8/16/32 nodes)
+// and extrapolated linearly in log2(nodes) — which lands within 0.1 % of
+// Table 2's 75.4 % for the 64-node ResNet-50 run.
+func PeakAccuracy(m Model, nodes int) float64 {
+	// Table 1 anchors at 8 and 32 nodes.
+	var at8, at32 float64
+	if m == GoogLeNetBN {
+		at8, at32 = 74.86, 74.19
+	} else {
+		at8, at32 = 75.99, 75.56
+	}
+	slope := (at32 - at8) / 2 // per doubling
+	d := math.Log2(float64(nodes) / 8)
+	acc := at8 + slope*d
+	return acc
+}
+
+// CurvePoint is one sample of a training trajectory.
+type CurvePoint struct {
+	Epoch int
+	Hours float64
+	Value float64
+}
+
+// stage describes one LR stage of the 90-epoch schedule: the plateau the
+// metric approaches and the approach time constant in epochs.
+type stage struct {
+	until  int
+	target float64
+	tau    float64
+}
+
+// curve evaluates a piecewise-exponential trajectory at integer epochs.
+func curve(start float64, stages []stage, epochs int) []float64 {
+	out := make([]float64, epochs+1)
+	out[0] = start
+	v := start
+	prev := 0
+	for _, st := range stages {
+		for e := prev + 1; e <= st.until && e <= epochs; e++ {
+			v = st.target - (st.target-v)*math.Exp(-1/st.tau)
+			out[e] = v
+		}
+		prev = st.until
+	}
+	return out
+}
+
+// AccuracyCurve returns the modeled top-1 validation accuracy per epoch,
+// with wall-clock hours from the simulated optimized epoch time — the
+// series plotted in Figures 13 (ResNet-50) and 14 (GoogLeNetBN).
+func (c *Cluster) AccuracyCurve(m Model, nodes int) ([]CurvePoint, error) {
+	epochTime, err := c.EpochTime(m, ImageNet1k, nodes, OptimizedOpts())
+	if err != nil {
+		return nil, err
+	}
+	peak := PeakAccuracy(m, nodes)
+	// Stage plateaus relative to peak: the characteristic ImageNet shape —
+	// a slow climb to ~80 % of peak under the initial LR, a sharp jump at
+	// the epoch-30 drop, a smaller jump at 60.
+	accs := curve(1.0, []stage{
+		{until: 30, target: peak - 12.5, tau: 6},
+		{until: 60, target: peak - 1.6, tau: 2.5},
+		{until: 90, target: peak, tau: 2.5},
+	}, 90)
+	pts := make([]CurvePoint, 0, 91)
+	for e := 0; e <= 90; e++ {
+		pts = append(pts, CurvePoint{Epoch: e, Hours: float64(e) * epochTime / 3600, Value: accs[e]})
+	}
+	return pts, nil
+}
+
+// ErrorCurve returns the modeled training objective (cross-entropy) per
+// epoch — the series of Figures 15-16.
+func (c *Cluster) ErrorCurve(m Model, nodes int) ([]CurvePoint, error) {
+	epochTime, err := c.EpochTime(m, ImageNet1k, nodes, OptimizedOpts())
+	if err != nil {
+		return nil, err
+	}
+	start := math.Log(1000) // uniform over 1000 classes
+	final := 0.95
+	if m == GoogLeNetBN {
+		final = 1.15
+	}
+	losses := curve(start, []stage{
+		{until: 30, target: final + 1.1, tau: 5},
+		{until: 60, target: final + 0.18, tau: 2.5},
+		{until: 90, target: final, tau: 2.5},
+	}, 90)
+	pts := make([]CurvePoint, 0, 91)
+	for e := 0; e <= 90; e++ {
+		pts = append(pts, CurvePoint{Epoch: e, Hours: float64(e) * epochTime / 3600, Value: losses[e]})
+	}
+	return pts, nil
+}

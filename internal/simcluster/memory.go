@@ -1,0 +1,61 @@
+package simcluster
+
+import "fmt"
+
+// NodeMemoryBytes is the Minsky node's host memory (256 GB).
+const NodeMemoryBytes = 256e9
+
+// MemoryPlan describes how a dataset fits across learners under DIMD's
+// group-based partitioning (Section 4.1: "if there is sufficient memory on
+// each node, the entire dataset can be stored in its memory, otherwise the
+// data needs to be partitioned... we can divide the learners into groups
+// such that each group of learners collectively owns the entire dataset").
+type MemoryPlan struct {
+	// Groups is the number of learner groups; each group collectively owns
+	// one full copy of the dataset.
+	Groups int
+	// LearnersPerGroup is the group width.
+	LearnersPerGroup int
+	// BytesPerNode is the resulting resident partition size.
+	BytesPerNode float64
+	// Replicated reports whether every learner holds the full dataset (the
+	// "each learner would define a group" extreme).
+	Replicated bool
+}
+
+// PlanMemory returns the DIMD layout with the most dataset copies (groups)
+// that fits: maximizing copies minimizes shuffle scope and maximizes local
+// randomness, bounded by per-node memory after reserving headroomBytes for
+// the training process itself.
+func PlanMemory(d Dataset, learners int, headroomBytes float64) (MemoryPlan, error) {
+	if learners <= 0 {
+		return MemoryPlan{}, fmt.Errorf("simcluster: %d learners", learners)
+	}
+	avail := NodeMemoryBytes - headroomBytes
+	if avail <= 0 {
+		return MemoryPlan{}, fmt.Errorf("simcluster: headroom %.0f GB exceeds node memory", headroomBytes/1e9)
+	}
+	blob := DatasetPackedBytes(d)
+	// With g groups, each node holds blob·g/learners bytes. Find the
+	// largest g (dividing learners for even groups) that fits.
+	best := 0
+	for g := 1; g <= learners; g++ {
+		if learners%g != 0 {
+			continue
+		}
+		perNode := blob * float64(g) / float64(learners)
+		if perNode <= avail {
+			best = g
+		}
+	}
+	if best == 0 {
+		return MemoryPlan{}, fmt.Errorf("simcluster: %s does not fit on %d learners even fully partitioned (%.0f GB/node > %.0f GB available)",
+			d, learners, blob/float64(learners)/1e9, avail/1e9)
+	}
+	return MemoryPlan{
+		Groups:           best,
+		LearnersPerGroup: learners / best,
+		BytesPerNode:     blob * float64(best) / float64(learners),
+		Replicated:       best == learners,
+	}, nil
+}

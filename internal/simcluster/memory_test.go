@@ -1,0 +1,49 @@
+package simcluster
+
+import "testing"
+
+func TestPlanMemoryImagenet1kReplicates(t *testing.T) {
+	// 70 GB fits whole on every node: each learner is its own group.
+	plan, err := PlanMemory(ImageNet1k, 32, 40e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Replicated || plan.Groups != 32 || plan.LearnersPerGroup != 1 {
+		t.Fatalf("imagenet-1k plan %+v, want full replication", plan)
+	}
+}
+
+func TestPlanMemoryImagenet22kPartitions(t *testing.T) {
+	// 220 GB with 40 GB headroom: full replication (220 > 216) fails, so
+	// the planner must pick fewer copies.
+	plan, err := PlanMemory(ImageNet22k, 32, 40e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Replicated {
+		t.Fatalf("imagenet-22k should not replicate: %+v", plan)
+	}
+	if plan.BytesPerNode > NodeMemoryBytes-40e9 {
+		t.Fatalf("plan exceeds memory: %+v", plan)
+	}
+	if plan.Groups < 1 || 32%plan.Groups != 0 {
+		t.Fatalf("invalid group count %d", plan.Groups)
+	}
+	// More copies than the single-group minimum when they fit.
+	if plan.Groups == 1 {
+		t.Fatalf("expected multiple 22k copies to fit at 6.9 GB per copy-share: %+v", plan)
+	}
+}
+
+func TestPlanMemoryErrors(t *testing.T) {
+	if _, err := PlanMemory(ImageNet22k, 0, 0); err == nil {
+		t.Fatal("zero learners should error")
+	}
+	if _, err := PlanMemory(ImageNet22k, 32, NodeMemoryBytes); err == nil {
+		t.Fatal("no available memory should error")
+	}
+	// A single learner with huge headroom cannot hold 220 GB.
+	if _, err := PlanMemory(ImageNet22k, 1, 100e9); err == nil {
+		t.Fatal("22k on one node with 100 GB headroom should not fit")
+	}
+}

@@ -1,0 +1,97 @@
+package simcluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for ASCII plotting.
+type Series struct {
+	Name   string
+	Points []CurvePoint
+}
+
+// PlotASCII renders curves as a text chart (value vs hours) — the closest a
+// terminal gets to the paper's Figures 13-16. Each series draws with its own
+// glyph; axes are annotated with the data ranges.
+func PlotASCII(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.Hours)
+			maxX = math.Max(maxX, p.Hours)
+			minY = math.Min(minY, p.Value)
+			maxY = math.Max(maxY, p.Value)
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		return title + ": no data\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int((p.Hours - minX) / (maxX - minX) * float64(width-1))
+			y := int((p.Value - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "        %-*s%*s\n", width/2, fmt.Sprintf("%.2f h", minX), width/2, fmt.Sprintf("%.2f h", maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// PlotFigure renders one of Figures 13-16 as an ASCII chart across the
+// given node counts.
+func (c *Cluster) PlotFigure(m Model, errCurve bool, nodeCounts []int, width, height int) (string, error) {
+	var series []Series
+	for _, n := range nodeCounts {
+		var pts []CurvePoint
+		var err error
+		if errCurve {
+			pts, err = c.ErrorCurve(m, n)
+		} else {
+			pts, err = c.AccuracyCurve(m, n)
+		}
+		if err != nil {
+			return "", err
+		}
+		series = append(series, Series{Name: fmt.Sprintf("%d nodes", n), Points: pts})
+	}
+	what := "top-1 validation accuracy (%)"
+	if errCurve {
+		what = "training error"
+	}
+	title := fmt.Sprintf("%s — %s vs wall-clock hours", m, what)
+	return PlotASCII(title, series, width, height), nil
+}

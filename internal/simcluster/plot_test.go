@@ -1,0 +1,64 @@
+package simcluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotASCIIBasics(t *testing.T) {
+	s := []Series{
+		{Name: "a", Points: []CurvePoint{{Hours: 0, Value: 0}, {Hours: 1, Value: 10}}},
+		{Name: "b", Points: []CurvePoint{{Hours: 0, Value: 10}, {Hours: 1, Value: 0}}},
+	}
+	out := PlotASCII("test chart", s, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing series glyphs")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("missing legend")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotASCIIEmpty(t *testing.T) {
+	out := PlotASCII("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestPlotASCIIClampsTinyDimensions(t *testing.T) {
+	s := []Series{{Name: "a", Points: []CurvePoint{{Hours: 0, Value: 1}, {Hours: 2, Value: 3}}}}
+	out := PlotASCII("tiny", s, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("clamped plot should render")
+	}
+}
+
+func TestPlotFigureRenders(t *testing.T) {
+	c := newCluster(t)
+	for _, errCurve := range []bool{false, true} {
+		out, err := c.PlotFigure(ResNet50, errCurve, []int{8, 32}, 60, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "8 nodes") || !strings.Contains(out, "32 nodes") {
+			t.Fatal("missing node-count legend")
+		}
+	}
+}
+
+func TestPlotFigureConstantValueSeries(t *testing.T) {
+	// A flat series must not divide by zero on the Y range.
+	s := []Series{{Name: "flat", Points: []CurvePoint{{Hours: 0, Value: 5}, {Hours: 1, Value: 5}}}}
+	out := PlotASCII("flat", s, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series should still plot")
+	}
+}

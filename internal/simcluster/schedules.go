@@ -1,0 +1,317 @@
+// Package simcluster models the paper's evaluation platform — the 32-node
+// POWER8 Minsky cluster with four P100 GPUs per node and a dual-rail
+// 100 Gb/s InfiniBand fat tree — and regenerates every figure and table of
+// the evaluation from that model plus the collective-communication schedules
+// simulated on internal/simnet. See DESIGN.md §2 for the calibration
+// methodology and EXPERIMENTS.md for paper-vs-model numbers.
+package simcluster
+
+import (
+	"fmt"
+
+	"repro/internal/allreduce"
+	"repro/internal/simnet"
+)
+
+// CommParams calibrates how the collective schedules map onto the fabric.
+type CommParams struct {
+	// SumRate is the rate (bytes/s) at which a host folds an incoming
+	// network buffer into its local contribution (the paper uses PowerPC
+	// altivec for this).
+	SumRate float64
+	// CopyRate models the default OpenMPI path's extra staging copies
+	// through host buffers (no direct verbs pipelining), bytes/s.
+	CopyRate float64
+	// Segments is the pipeline depth simulated for the ring and
+	// multi-color schedules.
+	Segments int
+	// Colors is the multi-color k (paper: 4).
+	Colors int
+}
+
+// DefaultCommParams returns the calibrated constants (see EXPERIMENTS.md).
+func DefaultCommParams() CommParams {
+	return CommParams{
+		SumRate:  18e9,
+		CopyRate: 0.9e9,
+		Segments: 8,
+		Colors:   4,
+	}
+}
+
+// AllReduceTime simulates one allreduce of payloadBytes across the first
+// `nodes` hosts of topo under the named algorithm and returns the makespan
+// in seconds.
+func AllReduceTime(topo *simnet.FatTree, nodes int, alg allreduce.Algorithm, payloadBytes float64, p CommParams) (float64, error) {
+	if nodes < 1 || nodes > topo.Hosts {
+		return 0, fmt.Errorf("simcluster: %d nodes on %d-host fabric", nodes, topo.Hosts)
+	}
+	if nodes == 1 || payloadBytes == 0 {
+		return 0, nil
+	}
+	switch alg {
+	case allreduce.AlgMultiColor:
+		return multiColorTime(topo, nodes, payloadBytes, p)
+	case allreduce.AlgRing:
+		return ringTime(topo, nodes, payloadBytes, p)
+	case allreduce.AlgDefault, allreduce.AlgRabenseifner:
+		return defaultMPITime(topo, nodes, payloadBytes, p)
+	default:
+		return 0, fmt.Errorf("simcluster: no schedule builder for %q", alg)
+	}
+}
+
+// multiColorTime builds the paper's k-color tree schedule: chunk c reduced
+// up color c's k-ary tree and broadcast back down, segments pipelined, each
+// color on its own rail (mod the rail count) so colors progress concurrently
+// on disjoint links.
+func multiColorTime(topo *simnet.FatTree, nodes int, payload float64, p CommParams) (float64, error) {
+	k := allreduce.EffectiveColors(nodes, p.Colors)
+	sim := simnet.NewSim(topo)
+	segs := p.Segments
+	if segs < 1 {
+		segs = 1
+	}
+	for color := 0; color < k; color++ {
+		lo, hi := allreduce.ChunkBounds(int(payload), k, color)
+		chunk := float64(hi - lo)
+		if chunk == 0 {
+			continue
+		}
+		tree := allreduce.BuildTree(nodes, k, color, nodes/k)
+		rail := color % topo.Rails
+		segBytes := chunk / float64(segs)
+		sumDelay := segBytes / p.SumRate
+
+		// upDone[node] per segment: flow id whose completion means node's
+		// fully-summed segment is available.
+		prevUpSend := make(map[int]simnet.FlowID) // node -> its last up-send
+		prevDownSend := make(map[[2]int]simnet.FlowID)
+		upDone := make(map[int]simnet.FlowID)
+		prevRootSync := simnet.FlowID(-1)
+		var order []int // BFS order: parents before children; process reversed
+		order = append(order, tree.Root)
+		for i := 0; i < len(order); i++ {
+			order = append(order, tree.Children[order[i]]...)
+		}
+		downReady := make(map[int]simnet.FlowID)
+		for s := 0; s < segs; s++ {
+			// Reduce: process leaves first (reverse BFS).
+			for i := len(order) - 1; i >= 0; i-- {
+				node := order[i]
+				var deps []simnet.FlowID
+				for _, ch := range tree.Children[node] {
+					deps = append(deps, upDone[ch])
+				}
+				delay := 0.0
+				if len(tree.Children[node]) > 0 {
+					delay = sumDelay * float64(len(tree.Children[node]))
+				}
+				if tree.Parent[node] < 0 {
+					// Root: a zero-byte sync marks the segment reduced.
+					sync := sim.MustAddFlow(node, node, rail, 0, deps, delay)
+					upDone[node] = sync
+					prevRootSync = sync
+					continue
+				}
+				if prev, ok := prevUpSend[node]; ok {
+					deps = append(deps, prev) // sender serializes its segments
+				}
+				id := sim.MustAddFlow(node, tree.Parent[node], rail, segBytes, deps, delay)
+				prevUpSend[node] = id
+				upDone[node] = id
+			}
+			// Broadcast: parents forward down in BFS order.
+			downReady[tree.Root] = prevRootSync
+			for _, node := range order {
+				for _, ch := range tree.Children[node] {
+					deps := []simnet.FlowID{downReady[node]}
+					key := [2]int{node, ch}
+					if prev, ok := prevDownSend[key]; ok {
+						deps = append(deps, prev)
+					}
+					id := sim.MustAddFlow(node, ch, rail, segBytes, deps, 0)
+					prevDownSend[key] = id
+					downReady[ch] = id
+				}
+			}
+		}
+	}
+	_, makespan, err := sim.Run()
+	return makespan, err
+}
+
+// ringTime builds the paper's ring baseline: segments reduced along the ring
+// to a single root then broadcast in the opposite direction, pipelined, on a
+// single rail (one connection path — the limitation the multi-color design
+// removes).
+func ringTime(topo *simnet.FatTree, nodes int, payload float64, p CommParams) (float64, error) {
+	sim := simnet.NewSim(topo)
+	segs := p.Segments
+	if segs < 1 {
+		segs = 1
+	}
+	segBytes := payload / float64(segs)
+	sumDelay := segBytes / p.SumRate
+	prevSend := make(map[int]simnet.FlowID)
+	prevDown := make(map[int]simnet.FlowID)
+	var rootHas simnet.FlowID = -1
+	for s := 0; s < segs; s++ {
+		// Reduce phase: node n-1 -> n-2 -> ... -> 0.
+		var arrived simnet.FlowID = -1 // at current node, this segment
+		for node := nodes - 1; node >= 1; node-- {
+			var deps []simnet.FlowID
+			if arrived >= 0 {
+				deps = append(deps, arrived)
+			}
+			if prev, ok := prevSend[node]; ok {
+				deps = append(deps, prev)
+			}
+			delay := 0.0
+			if node < nodes-1 {
+				delay = sumDelay // folded the received segment into local data
+			}
+			id := sim.MustAddFlow(node, node-1, 0, segBytes, deps, delay)
+			prevSend[node] = id
+			arrived = id
+		}
+		// Root sums the last arrival.
+		rootSync := sim.MustAddFlow(0, 0, 0, 0, []simnet.FlowID{arrived}, sumDelay)
+		rootHas = rootSync
+		// Broadcast phase: 0 -> 1 -> ... -> n-1.
+		prevArrival := rootHas
+		for node := 0; node < nodes-1; node++ {
+			deps := []simnet.FlowID{prevArrival}
+			if prev, ok := prevDown[node]; ok {
+				deps = append(deps, prev)
+			}
+			id := sim.MustAddFlow(node, node+1, 0, segBytes, deps, 0)
+			prevDown[node] = id
+			prevArrival = id
+		}
+	}
+	_, makespan, err := sim.Run()
+	return makespan, err
+}
+
+// defaultMPITime models the stock OpenMPI large-message allreduce:
+// Rabenseifner reduce-scatter + allgather, rounds strictly serialized (no
+// cross-round pipelining) with every round's payload staged through host
+// buffers at CopyRate — the copy-bound path the paper replaces with direct
+// Infiniband verbs.
+func defaultMPITime(topo *simnet.FatTree, nodes int, payload float64, p CommParams) (float64, error) {
+	sim := simnet.NewSim(topo)
+	p2 := 1
+	for p2*2 <= nodes {
+		p2 *= 2
+	}
+	last := make(map[int]simnet.FlowID) // per node: its latest operation
+	dep := func(node int) []simnet.FlowID {
+		if id, ok := last[node]; ok {
+			return []simnet.FlowID{id}
+		}
+		return nil
+	}
+	// Fold extras into the power-of-two core.
+	for r := p2; r < nodes; r++ {
+		id := sim.MustAddFlow(r, r-p2, 0, payload, nil, payload/p.CopyRate)
+		last[r-p2] = id
+	}
+	// Reduce-scatter: recursive halving.
+	size := payload / 2
+	for d := p2 / 2; d >= 1; d /= 2 {
+		ids := make(map[int]simnet.FlowID)
+		for node := 0; node < p2; node++ {
+			partner := node ^ d
+			deps := append(dep(node), dep(partner)...)
+			ids[node] = sim.MustAddFlow(node, partner, 0, size, deps, size/p.CopyRate+size/p.SumRate)
+		}
+		for node := 0; node < p2; node++ {
+			// Node continues once it has both sent and received.
+			sync := sim.MustAddFlow(node, node, 0, 0, []simnet.FlowID{ids[node], ids[node^d]}, 0)
+			last[node] = sync
+		}
+		size /= 2
+	}
+	// Allgather: recursive doubling with growing payloads.
+	size = payload / float64(p2)
+	for d := 1; d < p2; d *= 2 {
+		ids := make(map[int]simnet.FlowID)
+		for node := 0; node < p2; node++ {
+			partner := node ^ d
+			deps := append(dep(node), dep(partner)...)
+			ids[node] = sim.MustAddFlow(node, partner, 0, size, deps, size/p.CopyRate)
+		}
+		for node := 0; node < p2; node++ {
+			sync := sim.MustAddFlow(node, node, 0, 0, []simnet.FlowID{ids[node], ids[node^d]}, 0)
+			last[node] = sync
+		}
+		size *= 2
+	}
+	// Fan results back to the folded extras.
+	for r := p2; r < nodes; r++ {
+		sim.MustAddFlow(r-p2, r, 0, payload, dep(r-p2), payload/p.CopyRate)
+	}
+	_, makespan, err := sim.Run()
+	return makespan, err
+}
+
+// AllToAllVTime simulates the DIMD shuffle (Figures 7-9): every learner
+// scatters its partition uniformly to its shuffle group. perNodeBytes is the
+// partition size held by each learner; packRate models the serialized
+// pack/unpack of image records through MPI buffers on each host (the
+// dominant cost at these message sizes, calibrated in EXPERIMENTS.md).
+// groups > 1 restricts traffic to contiguous groups of learners.
+func AllToAllVTime(topo *simnet.FatTree, nodes int, perNodeBytes float64, groups int, packRate float64) (float64, error) {
+	if groups < 1 {
+		groups = 1
+	}
+	if nodes < 1 || nodes > topo.Hosts {
+		return 0, fmt.Errorf("simcluster: %d nodes on %d-host fabric", nodes, topo.Hosts)
+	}
+	sim := simnet.NewSim(topo)
+	per := nodes / groups
+	if per < 1 {
+		per = 1
+	}
+	for src := 0; src < nodes; src++ {
+		g := src / per
+		lo := g * per
+		hi := lo + per
+		if hi > nodes {
+			hi = nodes
+		}
+		members := hi - lo
+		if members < 1 {
+			members = 1
+		}
+		pair := perNodeBytes / float64(members)
+		// The host CPU marshals every local record — self-destined ones
+		// included, since the whole partition is re-permuted (Algorithm 2's
+		// final local shuffle) — one destination buffer at a time, modeled
+		// as chained zero-byte flows carrying the pack delay. Each network
+		// transfer starts as soon as its buffer is packed and overlaps the
+		// remaining packing. Destinations are shifted by rank, matching
+		// mpi.AllToAllV. Because the per-node marshalling volume is the
+		// whole partition regardless of group size, group-restricted
+		// shuffles on a symmetric fabric take about the same time as the
+		// flat shuffle — the paper's Figure 9 observation.
+		var prevPack simnet.FlowID = -1
+		for s := 0; s < members; s++ {
+			dst := lo + (src-lo+s)%members
+			var packDeps []simnet.FlowID
+			if prevPack >= 0 {
+				packDeps = append(packDeps, prevPack)
+			}
+			pack := sim.MustAddFlow(src, src, 0, 0, packDeps, pair/packRate)
+			prevPack = pack
+			if dst == src {
+				continue // local copy: no network flow
+			}
+			rail := s % topo.Rails
+			sim.MustAddFlow(src, dst, rail, pair, []simnet.FlowID{pack}, 0)
+		}
+	}
+	_, makespan, err := sim.Run()
+	return makespan, err
+}

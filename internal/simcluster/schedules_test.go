@@ -1,0 +1,134 @@
+package simcluster
+
+import (
+	"testing"
+
+	"repro/internal/allreduce"
+	"repro/internal/simnet"
+)
+
+func scheduleParams() CommParams {
+	p := DefaultCommParams()
+	p.Segments = 4 // keep the simulations fast for unit tests
+	return p
+}
+
+func TestAllReduceTimeMonotoneInPayload(t *testing.T) {
+	topo := simnet.MinskyFabric(16)
+	p := scheduleParams()
+	for _, alg := range []allreduce.Algorithm{allreduce.AlgMultiColor, allreduce.AlgRing, allreduce.AlgDefault} {
+		prev := 0.0
+		for _, mb := range []float64{1, 8, 64, 256} {
+			tm, err := AllReduceTime(topo, 16, alg, mb*1e6, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tm <= prev {
+				t.Fatalf("%s: time not increasing with payload at %v MB (%v <= %v)", alg, mb, tm, prev)
+			}
+			prev = tm
+		}
+	}
+}
+
+func TestAllReduceTimeGrowsWithNodes(t *testing.T) {
+	topo := simnet.MinskyFabric(64)
+	p := scheduleParams()
+	for _, alg := range []allreduce.Algorithm{allreduce.AlgMultiColor, allreduce.AlgRing, allreduce.AlgDefault} {
+		prev := 0.0
+		for _, n := range []int{4, 8, 16, 32, 64} {
+			tm, err := AllReduceTime(topo, n, alg, 93e6, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tm <= prev {
+				t.Fatalf("%s: time not increasing with nodes at n=%d", alg, n)
+			}
+			prev = tm
+		}
+	}
+}
+
+func TestAllReduceTimeEdgeCases(t *testing.T) {
+	topo := simnet.MinskyFabric(8)
+	p := scheduleParams()
+	// Single node and zero payload are free.
+	for _, alg := range []allreduce.Algorithm{allreduce.AlgMultiColor, allreduce.AlgRing, allreduce.AlgDefault} {
+		tm, err := AllReduceTime(topo, 1, alg, 93e6, p)
+		if err != nil || tm != 0 {
+			t.Fatalf("%s single node: %v %v", alg, tm, err)
+		}
+		tm, err = AllReduceTime(topo, 4, alg, 0, p)
+		if err != nil || tm != 0 {
+			t.Fatalf("%s zero payload: %v %v", alg, tm, err)
+		}
+	}
+	// Two nodes work for every schedule (smallest non-trivial case).
+	for _, alg := range []allreduce.Algorithm{allreduce.AlgMultiColor, allreduce.AlgRing, allreduce.AlgDefault} {
+		tm, err := AllReduceTime(topo, 2, alg, 16e6, p)
+		if err != nil || tm <= 0 {
+			t.Fatalf("%s two nodes: %v %v", alg, tm, err)
+		}
+	}
+	// Non-power-of-two node counts work for the default (fold path).
+	for _, n := range []int{3, 5, 7} {
+		tm, err := AllReduceTime(topo, n, allreduce.AlgDefault, 16e6, p)
+		if err != nil || tm <= 0 {
+			t.Fatalf("default n=%d: %v %v", n, tm, err)
+		}
+	}
+	// Unknown algorithm and oversized node counts error.
+	if _, err := AllReduceTime(topo, 9, allreduce.AlgRing, 1e6, p); err == nil {
+		t.Fatal("nodes > fabric hosts should error")
+	}
+}
+
+func TestMoreSegmentsNeverSlowerMuch(t *testing.T) {
+	// Pipelining should help (or at worst cost only latency): 8 segments
+	// must beat 1 segment for a large payload on the ring.
+	topo := simnet.MinskyFabric(16)
+	p1 := scheduleParams()
+	p1.Segments = 1
+	p8 := scheduleParams()
+	p8.Segments = 8
+	t1, err := AllReduceTime(topo, 16, allreduce.AlgRing, 128e6, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := AllReduceTime(topo, 16, allreduce.AlgRing, 128e6, p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8 >= t1 {
+		t.Fatalf("pipelined ring (%.4fs) should beat unpipelined (%.4fs)", t8, t1)
+	}
+}
+
+func TestAllToAllVTimeProperties(t *testing.T) {
+	topo := simnet.MinskyFabric(32)
+	const packRate = 1.8e9
+	// Doubling the data doubles the (pack-bound) time, approximately.
+	t1, err := AllToAllVTime(topo, 32, 2e9, 1, packRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := AllToAllVTime(topo, 32, 4e9, 1, packRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t2 / t1
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("doubling payload gave ratio %.2f, want ~2", ratio)
+	}
+	// Single member (one group per node) is pure local work.
+	tm, err := AllToAllVTime(topo, 32, 2e9, 32, packRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Fatal("degenerate groups should still pay the local pack")
+	}
+	if _, err := AllToAllVTime(topo, 64, 1e9, 1, packRate); err == nil {
+		t.Fatal("nodes > hosts should error")
+	}
+}

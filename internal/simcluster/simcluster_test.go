@@ -1,0 +1,425 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/allreduce"
+)
+
+func newCluster(t *testing.T) *Cluster {
+	t.Helper()
+	return New(64, DefaultParams())
+}
+
+// Figure 5 shape: multicolor > ring > default throughput at every payload,
+// and multicolor exceeds a single rail's bandwidth at large payloads (it is
+// the only scheme using both adapters).
+func TestFig5Ordering(t *testing.T) {
+	c := newCluster(t)
+	rows, tbl, err := c.Fig5(16, []float64{1, 4, 16, 64, 128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatal("table row count")
+	}
+	for _, r := range rows {
+		mc := r.GBs[allreduce.AlgMultiColor]
+		ring := r.GBs[allreduce.AlgRing]
+		def := r.GBs[allreduce.AlgDefault]
+		if !(mc > ring && ring > def) {
+			t.Fatalf("size %vMB: ordering violated: mc=%v ring=%v def=%v", r.SizeMB, mc, ring, def)
+		}
+	}
+	// Paper: multi-color 50-60%+ faster than both; check the factor is
+	// at least 2x over ring and 5x over default at 128 MB.
+	big := rows[4]
+	if big.GBs[allreduce.AlgMultiColor] < 2*big.GBs[allreduce.AlgRing] {
+		t.Fatalf("multicolor should be >=2x ring at 128MB: %v vs %v",
+			big.GBs[allreduce.AlgMultiColor], big.GBs[allreduce.AlgRing])
+	}
+	if big.GBs[allreduce.AlgMultiColor] < 5*big.GBs[allreduce.AlgDefault] {
+		t.Fatalf("multicolor should be >=5x default at 128MB")
+	}
+}
+
+// Figure 6 shape: every scheme's epoch time drops with more learners;
+// multicolor gives the lowest; the multicolor-vs-default gap is 40-65%; and
+// multicolor weak-scaling efficiency is ~90%+.
+func TestFig6Shape(t *testing.T) {
+	c := newCluster(t)
+	rows, eff, _, err := c.Fig6([]int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if i > 0 {
+			prev := rows[i-1]
+			for _, alg := range []allreduce.Algorithm{allreduce.AlgDefault, allreduce.AlgRing, allreduce.AlgMultiColor} {
+				if r.Epoch[alg] >= prev.Epoch[alg] {
+					t.Fatalf("%s epoch time not scaling: %v -> %v", alg, prev.Epoch[alg], r.Epoch[alg])
+				}
+			}
+		}
+		mc, def := r.Epoch[allreduce.AlgMultiColor], r.Epoch[allreduce.AlgDefault]
+		if mc >= r.Epoch[allreduce.AlgRing] || mc >= def {
+			t.Fatalf("nodes=%d: multicolor not fastest", r.Nodes)
+		}
+		gap := (def - mc) / def
+		if gap < 0.35 || gap > 0.70 {
+			t.Fatalf("nodes=%d: multicolor vs default gap %.0f%%, want ~40-65%%", r.Nodes, gap*100)
+		}
+	}
+	if eff < 0.85 || eff > 1.0 {
+		t.Fatalf("scaling efficiency %.3f, want ~0.9 (paper 0.905)", eff)
+	}
+}
+
+// Figures 7-8 shape: shuffle time decreases with learner count; the paper's
+// headline number — 22k over 32 learners in ~4.2 s — within 25%.
+func TestFigShuffleShape(t *testing.T) {
+	c := newCluster(t)
+	for _, d := range []Dataset{ImageNet22k, ImageNet1k} {
+		rows, _, err := c.FigShuffle(d, []int{8, 16, 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Seconds >= rows[i-1].Seconds {
+				t.Fatalf("%s: shuffle time not decreasing: %+v", d, rows)
+			}
+			if rows[i].MemGBNode >= rows[i-1].MemGBNode {
+				t.Fatalf("%s: memory per node not decreasing", d)
+			}
+		}
+	}
+	rows, _, err := c.FigShuffle(ImageNet22k, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows[0].Seconds; math.Abs(got-4.2)/4.2 > 0.25 {
+		t.Fatalf("22k/32-learner shuffle %.2fs, paper 4.2s", got)
+	}
+	// Memory: 220 GB over 32 learners ≈ 6.9 GB/node.
+	if math.Abs(rows[0].MemGBNode-6.875) > 0.1 {
+		t.Fatalf("22k/32 memory %.2f GB/node, want ~6.9", rows[0].MemGBNode)
+	}
+}
+
+// Figure 9 shape: on the symmetric fabric, group-based shuffle times are
+// nearly flat across group counts ("not much improvement with the group
+// based shuffle").
+func TestFig9FlatOnSymmetricFabric(t *testing.T) {
+	c := newCluster(t)
+	rows, _, err := c.Fig9([]int{1, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := rows[0].Seconds, rows[0].Seconds
+	for _, r := range rows[1:] {
+		if r.Seconds < min {
+			min = r.Seconds
+		}
+		if r.Seconds > max {
+			max = r.Seconds
+		}
+	}
+	if (max-min)/max > 0.15 {
+		t.Fatalf("group shuffle should be ~flat on symmetric fabric: min %.2f max %.2f", min, max)
+	}
+}
+
+// Figure 10 shape: DIMD speeds up GoogLeNetBN ~33% and ResNet-50 ~25% on
+// ImageNet-1k, GoogLeNetBN benefiting more (it is more I/O-bound).
+func TestFig10DIMDImprovements(t *testing.T) {
+	c := newCluster(t)
+	rows, _, err := c.FigDIMD(ImageNet1k, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[Model][]ComponentRow{}
+	for _, r := range rows {
+		byModel[r.Model] = append(byModel[r.Model], r)
+		if r.EpochOn >= r.EpochOff {
+			t.Fatalf("%s/%d: DIMD did not help", r.Model, r.Nodes)
+		}
+	}
+	for _, r := range byModel[GoogLeNetBN] {
+		if r.SpeedupPct < 25 || r.SpeedupPct > 45 {
+			t.Fatalf("GoogLeNetBN DIMD speedup %.0f%%, paper ~33%%", r.SpeedupPct)
+		}
+	}
+	for _, r := range byModel[ResNet50] {
+		if r.SpeedupPct < 15 || r.SpeedupPct > 35 {
+			t.Fatalf("ResNet-50 DIMD speedup %.0f%%, paper ~25%%", r.SpeedupPct)
+		}
+	}
+	// GoogLeNetBN gains more at every node count.
+	for i := range byModel[GoogLeNetBN] {
+		if byModel[GoogLeNetBN][i].SpeedupPct <= byModel[ResNet50][i].SpeedupPct {
+			t.Fatal("GoogLeNetBN should benefit more from DIMD than ResNet-50")
+		}
+	}
+}
+
+func TestFig11DIMD22k(t *testing.T) {
+	c := newCluster(t)
+	rows, _, err := c.FigDIMD(ImageNet22k, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.EpochOn >= r.EpochOff {
+			t.Fatalf("22k %s/%d: DIMD did not help", r.Model, r.Nodes)
+		}
+	}
+	// 22k epochs are ~5.5x longer than 1k (7M vs 1.28M images).
+	r1k, _, _ := c.FigDIMD(ImageNet1k, []int{8})
+	ratio := rows[0].EpochOn / r1k[0].EpochOn
+	if math.Abs(ratio-5.46) > 0.1 {
+		t.Fatalf("22k/1k epoch ratio %.2f, want ~5.46", ratio)
+	}
+}
+
+// Figure 12 shape: DPT optimizations buy 15-25%, ResNet-50 slightly more
+// than GoogLeNetBN (paper: 18% vs 15%).
+func TestFig12DPTImprovements(t *testing.T) {
+	c := newCluster(t)
+	rows, _, err := c.Fig12([]int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g, r float64
+	for _, row := range rows {
+		if row.SpeedupPct < 10 || row.SpeedupPct > 28 {
+			t.Fatalf("%s/%d DPT speedup %.0f%%, paper 15-18%%", row.Model, row.Nodes, row.SpeedupPct)
+		}
+		if row.Model == GoogLeNetBN {
+			g = row.SpeedupPct
+		} else {
+			r = row.SpeedupPct
+		}
+	}
+	if r <= g {
+		t.Fatalf("ResNet-50 DPT gain (%.0f%%) should exceed GoogLeNetBN's (%.0f%%)", r, g)
+	}
+}
+
+// Table 1 shape: total speedups in the paper's ranges (GoogLeNetBN 58-72%,
+// ResNet-50 110-130%, our model 55-75% and 90-130%), epoch times within 15%
+// of the paper's cells, and accuracy mildly decreasing with node count.
+func TestTable1Shape(t *testing.T) {
+	c := newCluster(t)
+	rows, _, err := c.Table1([]int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := map[Model]map[int][2]float64{ // nodes -> {base, opt}
+		GoogLeNetBN: {8: {249, 155}, 16: {131, 76}, 32: {65, 41}},
+		ResNet50:    {8: {498, 224}, 16: {251, 109}, 32: {128, 58}},
+	}
+	for _, r := range rows {
+		want := paper[r.Model][r.Nodes]
+		if math.Abs(r.EpochBase-want[0])/want[0] > 0.15 {
+			t.Fatalf("%s/%d base epoch %.0f, paper %.0f (>15%% off)", r.Model, r.Nodes, r.EpochBase, want[0])
+		}
+		if math.Abs(r.EpochOpt-want[1])/want[1] > 0.15 {
+			t.Fatalf("%s/%d optimized epoch %.0f, paper %.0f (>15%% off)", r.Model, r.Nodes, r.EpochOpt, want[1])
+		}
+		switch r.Model {
+		case GoogLeNetBN:
+			if r.SpeedupPct < 55 || r.SpeedupPct > 75 {
+				t.Fatalf("GoogLeNetBN/%d speedup %.0f%%, paper 58-72%%", r.Nodes, r.SpeedupPct)
+			}
+		case ResNet50:
+			if r.SpeedupPct < 90 || r.SpeedupPct > 135 {
+				t.Fatalf("ResNet-50/%d speedup %.0f%%, paper 110-130%%", r.Nodes, r.SpeedupPct)
+			}
+		}
+	}
+	// Accuracy columns decrease with node count (larger effective batch).
+	for m, anchors := range map[Model][3]float64{
+		GoogLeNetBN: {74.86, 74.36, 74.19},
+		ResNet50:    {75.99, 75.78, 75.56},
+	} {
+		prev := math.Inf(1)
+		for i, n := range []int{8, 16, 32} {
+			acc := PeakAccuracy(m, n)
+			if acc >= prev {
+				t.Fatalf("%s accuracy not decreasing with nodes", m)
+			}
+			if math.Abs(acc-anchors[i]) > 0.35 {
+				t.Fatalf("%s/%d accuracy %.2f, paper %.2f", m, n, acc, anchors[i])
+			}
+			prev = acc
+		}
+	}
+}
+
+// Table 2 shape: the simulated 256-GPU record run beats Goyal et al.'s 65
+// minutes and You et al.'s 60 minutes, landing near the paper's 48.
+func TestTable2RecordRun(t *testing.T) {
+	c := newCluster(t)
+	rows, tbl, err := c.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatal("table 2 should have 3 systems")
+	}
+	ours := rows[2]
+	if ours.Minutes >= 60 {
+		t.Fatalf("simulated record run %.1f min, must beat 60", ours.Minutes)
+	}
+	if math.Abs(ours.Minutes-48)/48 > 0.15 {
+		t.Fatalf("simulated record run %.1f min, paper 48 (>15%% off)", ours.Minutes)
+	}
+	if ours.AccuracyPct < 75.0 || ours.AccuracyPct > 75.8 {
+		t.Fatalf("record-run accuracy %.2f, paper 75.4", ours.AccuracyPct)
+	}
+}
+
+// Figures 13-16 shape: accuracy curves rise monotonically to the Table 1
+// peaks with the LR-drop jumps at 30/60; error curves fall monotonically;
+// fewer nodes means more hours per epoch.
+func TestAccuracyAndErrorCurves(t *testing.T) {
+	c := newCluster(t)
+	for _, m := range []Model{ResNet50, GoogLeNetBN} {
+		pts8, err := c.AccuracyCurve(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts32, err := c.AccuracyCurve(m, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(pts8); i++ {
+			if pts8[i].Value < pts8[i-1].Value {
+				t.Fatalf("%s accuracy curve not monotone at epoch %d", m, i)
+			}
+		}
+		final := pts8[90].Value
+		if math.Abs(final-PeakAccuracy(m, 8)) > 0.5 {
+			t.Fatalf("%s final accuracy %.2f, want ~%.2f", m, final, PeakAccuracy(m, 8))
+		}
+		// The LR drop at 30 produces a visible jump.
+		jump := pts8[33].Value - pts8[30].Value
+		drift := pts8[30].Value - pts8[27].Value
+		if jump < 2*drift {
+			t.Fatalf("%s: no LR-drop jump at epoch 30 (jump %.2f vs drift %.2f)", m, jump, drift)
+		}
+		// 32 nodes finish the same epochs in fewer hours.
+		if pts32[90].Hours >= pts8[90].Hours {
+			t.Fatal("more nodes should mean fewer hours")
+		}
+		errPts, err := c.ErrorCurve(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(errPts); i++ {
+			if errPts[i].Value > errPts[i-1].Value {
+				t.Fatalf("%s error curve not decreasing at epoch %d", m, i)
+			}
+		}
+	}
+	// Curve tables render.
+	if _, err := c.FigCurve(ResNet50, false, []int{8, 16, 32}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FigCurve(GoogLeNetBN, true, []int{8, 16, 32}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepTimeComponents(t *testing.T) {
+	c := newCluster(t)
+	// DIMD off adds exactly the stall; DPT baseline adds exactly the
+	// overhead fraction of compute.
+	on, err := c.StepTime(ResNet50, 8, OptimizedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDIMD, _ := c.StepTime(ResNet50, 8, RunOpts{DIMD: false, OptimizedDPT: true, Allreduce: allreduce.AlgMultiColor})
+	p := c.Params
+	wantStall := float64(p.BatchPerGPU*p.DevicesPerNode) * p.IOStallPerImage
+	if math.Abs((noDIMD-on)-wantStall) > 1e-9 {
+		t.Fatalf("stall component %.4f, want %.4f", noDIMD-on, wantStall)
+	}
+	baseDPT, _ := c.StepTime(ResNet50, 8, RunOpts{DIMD: true, OptimizedDPT: false, Allreduce: allreduce.AlgMultiColor})
+	wantExtra := float64(p.BatchPerGPU) / p.GPURate[ResNet50] * p.DPTOverhead[ResNet50]
+	if math.Abs((baseDPT-on)-wantExtra) > 1e-9 {
+		t.Fatalf("DPT component %.4f, want %.4f", baseDPT-on, wantExtra)
+	}
+}
+
+func TestAllReduceSingleNodeFree(t *testing.T) {
+	c := newCluster(t)
+	tt, err := c.AllReduce(allreduce.AlgMultiColor, 1, 100e6)
+	if err != nil || tt != 0 {
+		t.Fatalf("single-node allreduce should be free: %v %v", tt, err)
+	}
+}
+
+func TestAllReduceCaching(t *testing.T) {
+	c := newCluster(t)
+	a, err := c.AllReduce(allreduce.AlgRing, 16, 93e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.AllReduce(allreduce.AlgRing, 16, 93e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache returned different value")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := newCluster(t)
+	if _, err := c.StepTime(Model("bogus"), 8, OptimizedOpts()); err == nil {
+		t.Fatal("unknown model should error")
+	}
+	if _, err := c.AllReduce(allreduce.AlgMultiColor, 200, 1e6); err == nil {
+		t.Fatal("too many nodes should error")
+	}
+	if _, err := AllReduceTime(c.Topology(), 8, allreduce.Algorithm("nope"), 1e6, c.Params.Comm); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	s := tbl.String()
+	if s == "" || s[0:4] != "== T" {
+		t.Fatalf("bad rendering: %q", s)
+	}
+}
+
+func TestDatasetConstants(t *testing.T) {
+	if DatasetImages(ImageNet1k) != 1_281_167 || DatasetImages(ImageNet22k) != 7_000_000 {
+		t.Fatal("dataset sizes wrong")
+	}
+	if DatasetPackedBytes(ImageNet1k) != 70e9 || DatasetPackedBytes(ImageNet22k) != 220e9 {
+		t.Fatal("packed sizes wrong")
+	}
+	if PayloadBytes(GoogLeNetBN) != 93e6 {
+		t.Fatal("GoogLeNetBN payload should be the paper's 93 MB")
+	}
+	// ResNet-50 payload from the real parameter count: 25,557,032 × 4 B.
+	if math.Abs(PayloadBytes(ResNet50)-4*25557032) > 3e6 {
+		t.Fatalf("ResNet-50 payload %.1f MB, want ~102.2", PayloadBytes(ResNet50)/1e6)
+	}
+}
+
+func TestScalingEfficiencyIdealAtEqualNodes(t *testing.T) {
+	c := newCluster(t)
+	eff, err := c.ScalingEfficiency(ResNet50, ImageNet1k, 8, 8, OptimizedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-1) > 1e-9 {
+		t.Fatalf("self-efficiency %v, want 1", eff)
+	}
+}

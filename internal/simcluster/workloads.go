@@ -1,0 +1,93 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"repro/internal/allreduce"
+)
+
+// Workload generalizes the cluster model to any of the CNNs the paper's
+// introduction motivates ("AlexNet, GoogleNet, VGG, Resnet and network in
+// network"): a gradient payload and a per-GPU throughput. Payloads are the
+// fp32 parameter counts of the real models in internal/models; rates are
+// order-of-magnitude P100 throughputs (fwd+bwd, batch 64) — the analysis
+// they feed (communication sensitivity, below) depends on the payload/rate
+// *ratio*, which spans 100× across these models.
+type Workload struct {
+	Name         string
+	PayloadBytes float64
+	GPURate      float64 // images/second/GPU
+}
+
+// MotivatingWorkloads returns the introduction's model set. Parameter
+// counts match internal/models (verified by tests); GoogLeNetBN uses the
+// paper's stated 93 MB payload.
+func MotivatingWorkloads() []Workload {
+	return []Workload{
+		{Name: "alexnet", PayloadBytes: 4 * 61_100_840, GPURate: 800},
+		{Name: "nin", PayloadBytes: 4 * 7_439_608, GPURate: 520},
+		{Name: "googlenetbn", PayloadBytes: 93e6, GPURate: 265},
+		{Name: "resnet50", PayloadBytes: 4 * 25_557_032, GPURate: 183},
+		{Name: "vgg16", PayloadBytes: 4 * 138_357_544, GPURate: 48},
+	}
+}
+
+// SensitivityRow is one workload's communication profile at a node count.
+type SensitivityRow struct {
+	Workload string
+	// StepDefault/StepMultiColor are simulated step times under the two
+	// allreduce schemes, seconds.
+	StepDefault, StepMultiColor float64
+	// CommFractionDefault is the share of the default-scheme step spent in
+	// the allreduce — the degree to which the workload is communication
+	// bound on the stock stack.
+	CommFractionDefault float64
+	// SpeedupPct is the end-to-end step speedup the multi-color allreduce
+	// delivers for this workload.
+	SpeedupPct float64
+}
+
+// CommSensitivity analyzes how much each motivating workload gains from the
+// multi-color allreduce at the given scale: models with high
+// payload-to-compute ratios (AlexNet's giant FC layers, VGG-16's 553 MB)
+// are communication-bound and gain the most — the regime the paper's
+// optimization targets as clusters grow.
+func (c *Cluster) CommSensitivity(nodes int) ([]SensitivityRow, *Table, error) {
+	tbl := &Table{
+		Title: fmt.Sprintf("Communication sensitivity of the motivating workloads (%d nodes)", nodes),
+		Header: []string{"workload", "payload MB", "img/s/GPU",
+			"step default", "step multicolor", "comm frac", "speedup"},
+	}
+	var rows []SensitivityRow
+	for _, w := range MotivatingWorkloads() {
+		compute := float64(c.Params.BatchPerGPU) / w.GPURate
+		commDef, err := c.AllReduce(allreduce.AlgDefault, nodes, w.PayloadBytes)
+		if err != nil {
+			return nil, nil, err
+		}
+		commMC, err := c.AllReduce(allreduce.AlgMultiColor, nodes, w.PayloadBytes)
+		if err != nil {
+			return nil, nil, err
+		}
+		stepDef := compute + commDef
+		stepMC := compute + commMC
+		r := SensitivityRow{
+			Workload:            w.Name,
+			StepDefault:         stepDef,
+			StepMultiColor:      stepMC,
+			CommFractionDefault: commDef / stepDef,
+			SpeedupPct:          (stepDef - stepMC) / stepMC * 100,
+		}
+		rows = append(rows, r)
+		tbl.Rows = append(tbl.Rows, []string{
+			w.Name,
+			fmt.Sprintf("%.0f", w.PayloadBytes/1e6),
+			fmt.Sprintf("%.0f", w.GPURate),
+			fmt.Sprintf("%.3fs", stepDef),
+			fmt.Sprintf("%.3fs", stepMC),
+			fmt.Sprintf("%.0f%%", r.CommFractionDefault*100),
+			fmt.Sprintf("%.0f%%", r.SpeedupPct),
+		})
+	}
+	return rows, tbl, nil
+}

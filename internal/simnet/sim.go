@@ -1,0 +1,275 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// FlowID identifies a scheduled flow.
+type FlowID int
+
+// flowState tracks a flow through the simulation.
+type flowState int
+
+const (
+	flowWaiting flowState = iota
+	flowReady             // deps satisfied, waiting for its start time
+	flowActive
+	flowDone
+)
+
+type flow struct {
+	id        int
+	route     []LinkID
+	bytes     float64
+	deps      []FlowID
+	delay     float64 // host processing charged after deps, before transfer
+	depsLeft  int
+	readyAt   float64 // max(dep finish) + delay (+latency)
+	remaining float64
+	finish    float64
+	state     flowState
+	rate      float64
+}
+
+// Sim accumulates a DAG of flows over a topology and computes completion
+// times under max-min fair link sharing.
+type Sim struct {
+	topo  *FatTree
+	flows []*flow
+}
+
+// NewSim creates an empty simulation over topo.
+func NewSim(topo *FatTree) *Sim { return &Sim{topo: topo} }
+
+// AddFlow schedules a transfer of size bytes from src to dst on the given
+// rail. The flow becomes eligible when every dep has finished, then waits
+// delay seconds (host-side processing: reduction arithmetic, packing) plus
+// the topology latency before occupying links. A zero-byte flow completes
+// instantly when eligible (pure synchronization/compute node in the DAG).
+// Loopback (src == dst) flows use no links and take only delay.
+func (s *Sim) AddFlow(src, dst, rail int, bytes float64, deps []FlowID, delay float64) (FlowID, error) {
+	if bytes < 0 || delay < 0 {
+		return 0, fmt.Errorf("simnet: negative bytes/delay")
+	}
+	route, err := s.topo.Route(src, dst, rail)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range deps {
+		if int(d) < 0 || int(d) >= len(s.flows) {
+			return 0, fmt.Errorf("simnet: dep %d out of range", d)
+		}
+	}
+	f := &flow{
+		id:        len(s.flows),
+		route:     route,
+		bytes:     bytes,
+		deps:      append([]FlowID(nil), deps...),
+		delay:     delay,
+		depsLeft:  len(deps),
+		remaining: bytes,
+	}
+	s.flows = append(s.flows, f)
+	return FlowID(len(s.flows) - 1), nil
+}
+
+// MustAddFlow is AddFlow but panics on error (schedule builders use static
+// structures where errors are programming bugs).
+func (s *Sim) MustAddFlow(src, dst, rail int, bytes float64, deps []FlowID, delay float64) FlowID {
+	id, err := s.AddFlow(src, dst, rail, bytes, deps, delay)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Run simulates to completion and returns each flow's finish time. The
+// second return is the makespan (max finish).
+func (s *Sim) Run() ([]float64, float64, error) {
+	n := len(s.flows)
+	dependents := make([][]int, n)
+	for i, f := range s.flows {
+		for _, d := range f.deps {
+			dependents[d] = append(dependents[d], i)
+		}
+		if f.depsLeft == 0 {
+			f.readyAt = f.delay + s.topo.Latency
+			f.state = flowReady
+		}
+	}
+	now := 0.0
+	done := 0
+	var makespan float64
+	// linkUse is scratch for the fair-share computation.
+	for done < n {
+		// Activate ready flows whose start time has arrived.
+		activated := false
+		for _, f := range s.flows {
+			if f.state == flowReady && f.readyAt <= now+1e-15 {
+				if f.bytes == 0 || len(f.route) == 0 {
+					// Instant completion (sync node or loopback with the
+					// delay already charged into readyAt).
+					f.state = flowDone
+					f.finish = now
+					if f.finish > makespan {
+						makespan = f.finish
+					}
+					done++
+					s.release(f, dependents, now)
+					activated = true
+					continue
+				}
+				f.state = flowActive
+				activated = true
+			}
+		}
+		if activated {
+			continue // re-scan: releases may have readied more flows
+		}
+		// Compute max-min fair rates for active flows.
+		active := 0
+		for _, f := range s.flows {
+			if f.state == flowActive {
+				active++
+			}
+		}
+		if active == 0 {
+			// Jump to the next ready time.
+			next := math.Inf(1)
+			for _, f := range s.flows {
+				if f.state == flowReady && f.readyAt < next {
+					next = f.readyAt
+				}
+			}
+			if math.IsInf(next, 1) {
+				return nil, 0, fmt.Errorf("simnet: deadlock with %d/%d flows done", done, n)
+			}
+			now = next
+			continue
+		}
+		s.fairShare()
+		// Next event: earliest active completion or ready activation.
+		next := math.Inf(1)
+		for _, f := range s.flows {
+			if f.state == flowActive {
+				if t := f.remaining / f.rate; now+t < next {
+					next = now + t
+				}
+			} else if f.state == flowReady && f.readyAt > now && f.readyAt < next {
+				next = f.readyAt
+			}
+		}
+		dt := next - now
+		for _, f := range s.flows {
+			if f.state == flowActive {
+				f.remaining -= f.rate * dt
+				if f.remaining <= 1e-9*math.Max(1, f.bytes) {
+					f.remaining = 0
+					f.state = flowDone
+					f.finish = next
+					if f.finish > makespan {
+						makespan = f.finish
+					}
+					done++
+					s.release(f, dependents, next)
+				}
+			}
+		}
+		now = next
+	}
+	finishes := make([]float64, n)
+	for i, f := range s.flows {
+		finishes[i] = f.finish
+	}
+	return finishes, makespan, nil
+}
+
+// release marks f's dependents and computes their ready times.
+func (s *Sim) release(f *flow, dependents [][]int, now float64) {
+	for _, di := range dependents[f.id] {
+		d := s.flows[di]
+		d.depsLeft--
+		if t := now + d.delay + s.topo.Latency; t > d.readyAt {
+			d.readyAt = t
+		}
+		if d.depsLeft == 0 {
+			d.state = flowReady
+		}
+	}
+}
+
+// fairShare assigns each active flow a rate by progressive filling (max-min
+// fairness): repeatedly find the most congested link, fix its flows at the
+// equal share, remove them, and continue.
+func (s *Sim) fairShare() {
+	type linkInfo struct {
+		cap   float64
+		count int
+	}
+	links := make(map[LinkID]*linkInfo)
+	unfrozen := make(map[int]bool)
+	for i, f := range s.flows {
+		if f.state != flowActive {
+			continue
+		}
+		unfrozen[i] = true
+		for _, l := range f.route {
+			li := links[l]
+			if li == nil {
+				li = &linkInfo{cap: s.topo.Bandwidth(l)}
+				links[l] = li
+			}
+			li.count++
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Find the bottleneck link: minimal fair share.
+		var bottleneck LinkID
+		minShare := math.Inf(1)
+		found := false
+		for l, li := range links {
+			if li.count == 0 {
+				continue
+			}
+			share := li.cap / float64(li.count)
+			if share < minShare {
+				minShare = share
+				bottleneck = l
+				found = true
+			}
+		}
+		if !found {
+			// No constrained links left (loopback-only flows shouldn't be
+			// active, but guard anyway): give remaining flows infinite rate.
+			for i := range unfrozen {
+				s.flows[i].rate = math.Inf(1)
+			}
+			return
+		}
+		// Freeze every unfrozen flow crossing the bottleneck.
+		for i := range unfrozen {
+			f := s.flows[i]
+			crosses := false
+			for _, l := range f.route {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = minShare
+			delete(unfrozen, i)
+			for _, l := range f.route {
+				li := links[l]
+				li.cap -= minShare
+				if li.cap < 0 {
+					li.cap = 0
+				}
+				li.count--
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func testTree(t *testing.T, hosts int) *FatTree {
+	t.Helper()
+	tree, err := NewFatTree(hosts, 4, 2, 2, 10e9, 40e9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestSingleFlowTime(t *testing.T) {
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	id := sim.MustAddFlow(0, 1, 0, 10e9, nil, 0) // 10 GB over 10 GB/s
+	finishes, makespan, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + tree.Latency
+	if math.Abs(finishes[id]-want) > 1e-6 {
+		t.Fatalf("finish %v, want %v", finishes[id], want)
+	}
+	if makespan != finishes[id] {
+		t.Fatal("makespan should equal sole flow's finish")
+	}
+}
+
+func TestTwoFlowsShareLink(t *testing.T) {
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	// Both flows leave host 0 on rail 0: they share the 10 GB/s uplink.
+	a := sim.MustAddFlow(0, 1, 0, 10e9, nil, 0)
+	b := sim.MustAddFlow(0, 2, 0, 10e9, nil, 0)
+	finishes, _, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fair share 5 GB/s each: 2 seconds.
+	for _, id := range []FlowID{a, b} {
+		if math.Abs(finishes[id]-2.0-tree.Latency) > 1e-6 {
+			t.Fatalf("shared flow finish %v, want ~2", finishes[id])
+		}
+	}
+}
+
+func TestSeparateRailsDontShare(t *testing.T) {
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	a := sim.MustAddFlow(0, 1, 0, 10e9, nil, 0)
+	b := sim.MustAddFlow(0, 2, 1, 10e9, nil, 0) // other adapter
+	finishes, _, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []FlowID{a, b} {
+		if math.Abs(finishes[id]-1.0-tree.Latency) > 1e-6 {
+			t.Fatalf("dual-rail flow finish %v, want ~1", finishes[id])
+		}
+	}
+}
+
+func TestDependencyChainSerializes(t *testing.T) {
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	a := sim.MustAddFlow(0, 1, 0, 10e9, nil, 0)
+	b := sim.MustAddFlow(1, 2, 0, 10e9, []FlowID{a}, 0)
+	finishes, _, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finishes[b] < finishes[a]+1.0 {
+		t.Fatalf("dependent flow finished at %v, dep at %v", finishes[b], finishes[a])
+	}
+}
+
+func TestDelayCharged(t *testing.T) {
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	id := sim.MustAddFlow(0, 1, 0, 10e9, nil, 0.5)
+	finishes, _, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 + 1.0 + tree.Latency
+	if math.Abs(finishes[id]-want) > 1e-6 {
+		t.Fatalf("delayed flow finish %v, want %v", finishes[id], want)
+	}
+}
+
+func TestZeroByteFlowIsSyncNode(t *testing.T) {
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	a := sim.MustAddFlow(0, 1, 0, 10e9, nil, 0)
+	b := sim.MustAddFlow(2, 3, 0, 5e9, nil, 0)
+	sync := sim.MustAddFlow(0, 0, 0, 0, []FlowID{a, b}, 0)
+	c := sim.MustAddFlow(1, 0, 0, 10e9, []FlowID{sync}, 0)
+	finishes, _, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finishes[sync] < math.Max(finishes[a], finishes[b]) {
+		t.Fatal("sync node fired before its deps")
+	}
+	if finishes[c] < finishes[sync]+1.0 {
+		t.Fatalf("flow after sync finished too early: %v", finishes[c])
+	}
+}
+
+func TestCrossLeafRouteUsesFabric(t *testing.T) {
+	tree := testTree(t, 8) // hosts 0-3 leaf 0, hosts 4-7 leaf 1
+	route, err := tree.Route(0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 4 {
+		t.Fatalf("cross-leaf route has %d links, want 4", len(route))
+	}
+	same, err := tree.Route(0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != 2 {
+		t.Fatalf("same-leaf route has %d links, want 2", len(same))
+	}
+	loop, err := tree.Route(3, 3, 0)
+	if err != nil || loop != nil {
+		t.Fatalf("loopback route should be empty, got %v (%v)", loop, err)
+	}
+	if _, err := tree.Route(0, 99, 0); err == nil {
+		t.Fatal("out-of-range host should error")
+	}
+}
+
+func TestPipelineOverlaps(t *testing.T) {
+	// Two-hop pipeline with 4 segments must be faster than the serial sum
+	// of both hops but slower than one hop.
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	const seg = 2.5e9 // 4 segments of 2.5 GB over 10 GB/s = 0.25 s each
+	var prevHop1, prevHop2 FlowID = -1, -1
+	var last FlowID
+	for s := 0; s < 4; s++ {
+		// A pipelined sender serializes its own segments: chain each hop's
+		// segment s after its segment s-1.
+		var deps1 []FlowID
+		if prevHop1 >= 0 {
+			deps1 = append(deps1, prevHop1)
+		}
+		hop1 := sim.MustAddFlow(0, 1, 0, seg, deps1, 0)
+		deps2 := []FlowID{hop1}
+		if prevHop2 >= 0 {
+			deps2 = append(deps2, prevHop2)
+		}
+		hop2 := sim.MustAddFlow(1, 2, 0, seg, deps2, 0)
+		prevHop1, prevHop2 = hop1, hop2
+		last = hop2
+	}
+	finishes, _, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := finishes[last]
+	if total > 1.6 { // serial would be 2.0; pipelined ideal is 1.25
+		t.Fatalf("pipeline total %v, want < 1.6 (overlap)", total)
+	}
+	if total < 1.2 {
+		t.Fatalf("pipeline total %v faster than physically possible", total)
+	}
+}
+
+func TestOversubscribedFabricSlower(t *testing.T) {
+	// Cross-leaf all-to-all under a thin fabric vs a fat one.
+	makespanWith := func(fabricBW float64) float64 {
+		tree, err := NewFatTree(8, 4, 1, 1, 10e9, fabricBW, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := NewSim(tree)
+		for src := 0; src < 4; src++ {
+			sim.MustAddFlow(src, 4+src, 0, 10e9, nil, 0)
+		}
+		_, makespan, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return makespan
+	}
+	thin := makespanWith(10e9) // 4 flows share one 10 GB/s spine link
+	fat := makespanWith(160e9) // fabric not the bottleneck
+	if thin < 3.9 || fat > 1.1 {
+		t.Fatalf("thin fabric %v (want ~4), fat fabric %v (want ~1)", thin, fat)
+	}
+}
+
+func TestAddFlowValidation(t *testing.T) {
+	tree := testTree(t, 8)
+	sim := NewSim(tree)
+	if _, err := sim.AddFlow(0, 1, 0, -5, nil, 0); err == nil {
+		t.Fatal("negative bytes should error")
+	}
+	if _, err := sim.AddFlow(0, 1, 0, 5, []FlowID{99}, 0); err == nil {
+		t.Fatal("bad dep should error")
+	}
+	if _, err := sim.AddFlow(0, 1, 0, 5, nil, -1); err == nil {
+		t.Fatal("negative delay should error")
+	}
+}
+
+func TestMinskyFabric(t *testing.T) {
+	tree := MinskyFabric(32)
+	if tree.Hosts != 32 || tree.Rails != 2 {
+		t.Fatalf("minsky fabric %d hosts %d rails", tree.Hosts, tree.Rails)
+	}
+	// A single large flow should move at one rail's bandwidth.
+	sim := NewSim(tree)
+	id := sim.MustAddFlow(0, 9, 0, 11e9, nil, 0)
+	finishes, _, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(finishes[id]-1.0) > 0.01 {
+		t.Fatalf("minsky single-flow time %v, want ~1s", finishes[id])
+	}
+}
+
+func TestNewFatTreeValidation(t *testing.T) {
+	if _, err := NewFatTree(0, 1, 1, 1, 1, 1, 0); err == nil {
+		t.Fatal("zero hosts should error")
+	}
+	if _, err := NewFatTree(4, 2, 1, 1, 0, 1, 0); err == nil {
+		t.Fatal("zero bandwidth should error")
+	}
+}

@@ -1,0 +1,135 @@
+// Package simnet is a flow-level discrete-event network simulator for the
+// fat-tree InfiniBand fabric of the paper's POWER8 Minsky cluster. Hosts
+// connect to leaf switches through parallel rails (the two ConnectX-5
+// adapters per node); leaves connect to every spine. Traffic is modeled as
+// fluid flows sharing links max-min fairly, with dependency edges between
+// flows so collective-communication schedules (trees, rings, pairwise
+// exchanges) can be simulated as DAGs of transfers.
+//
+// This is the substitution for measuring on real InfiniBand hardware: the
+// phenomena behind the paper's Figures 5-9 — per-rail bandwidth limits, link
+// sharing among concurrent tree colors, latency chains in rings, incast at
+// roots — are link-level effects this model captures.
+package simnet
+
+import "fmt"
+
+// LinkID indexes a directed link in a topology.
+type LinkID int
+
+// FatTree is a two-level fat tree: hosts → leaf switches → spine switches.
+// Every link is directional with a fixed bandwidth; each host has Rails
+// parallel host-leaf links (one per adapter).
+type FatTree struct {
+	Hosts        int
+	HostsPerLeaf int
+	Spines       int
+	Rails        int
+	// HostBW is the bandwidth of one host-leaf rail, bytes/second.
+	HostBW float64
+	// FabricBW is the bandwidth of one leaf-spine link, bytes/second.
+	FabricBW float64
+	// Latency is the one-way flow latency in seconds (per flow, not per
+	// link; flow-level approximation).
+	Latency float64
+
+	leaves int
+	// Link layout: for each host h and rail r: up link (h,r), down link
+	// (h,r); then for each leaf l and spine s: up, down.
+	numLinks int
+	bw       []float64
+}
+
+// NewFatTree constructs the topology. Oversubscription comes from choosing
+// few spines relative to hostsPerLeaf·rails.
+func NewFatTree(hosts, hostsPerLeaf, spines, rails int, hostBW, fabricBW, latency float64) (*FatTree, error) {
+	if hosts <= 0 || hostsPerLeaf <= 0 || spines <= 0 || rails <= 0 {
+		return nil, fmt.Errorf("simnet: invalid fat tree %d hosts, %d/leaf, %d spines, %d rails", hosts, hostsPerLeaf, spines, rails)
+	}
+	if hostBW <= 0 || fabricBW <= 0 {
+		return nil, fmt.Errorf("simnet: non-positive bandwidth")
+	}
+	t := &FatTree{
+		Hosts: hosts, HostsPerLeaf: hostsPerLeaf, Spines: spines, Rails: rails,
+		HostBW: hostBW, FabricBW: fabricBW, Latency: latency,
+	}
+	t.leaves = (hosts + hostsPerLeaf - 1) / hostsPerLeaf
+	hostLinks := hosts * rails * 2
+	fabricLinks := t.leaves * spines * 2
+	t.numLinks = hostLinks + fabricLinks
+	t.bw = make([]float64, t.numLinks)
+	for i := 0; i < hostLinks; i++ {
+		t.bw[i] = hostBW
+	}
+	for i := hostLinks; i < t.numLinks; i++ {
+		t.bw[i] = fabricBW
+	}
+	return t, nil
+}
+
+// Leaves returns the number of leaf switches.
+func (t *FatTree) Leaves() int { return t.leaves }
+
+// NumLinks returns the number of directed links.
+func (t *FatTree) NumLinks() int { return t.numLinks }
+
+// Bandwidth returns link l's bandwidth in bytes/second.
+func (t *FatTree) Bandwidth(l LinkID) float64 { return t.bw[l] }
+
+func (t *FatTree) hostUp(h, rail int) LinkID   { return LinkID((h*t.Rails + rail) * 2) }
+func (t *FatTree) hostDown(h, rail int) LinkID { return LinkID((h*t.Rails+rail)*2 + 1) }
+
+func (t *FatTree) leafUp(leaf, spine int) LinkID {
+	return LinkID(t.Hosts*t.Rails*2 + (leaf*t.Spines+spine)*2)
+}
+
+func (t *FatTree) leafDown(leaf, spine int) LinkID {
+	return LinkID(t.Hosts*t.Rails*2 + (leaf*t.Spines+spine)*2 + 1)
+}
+
+func (t *FatTree) leafOf(h int) int { return h / t.HostsPerLeaf }
+
+// Route returns the directed links a flow from src to dst traverses using
+// the given rail. The spine is picked deterministically from (src, dst),
+// emulating ECMP hashing.
+func (t *FatTree) Route(src, dst, rail int) ([]LinkID, error) {
+	if src < 0 || src >= t.Hosts || dst < 0 || dst >= t.Hosts {
+		return nil, fmt.Errorf("simnet: route %d->%d outside %d hosts", src, dst, t.Hosts)
+	}
+	if src == dst {
+		return nil, nil // loopback: no network links
+	}
+	rail = ((rail % t.Rails) + t.Rails) % t.Rails
+	sl, dl := t.leafOf(src), t.leafOf(dst)
+	if sl == dl {
+		return []LinkID{t.hostUp(src, rail), t.hostDown(dst, rail)}, nil
+	}
+	spine := (src*31 + dst*17 + rail*7) % t.Spines
+	return []LinkID{
+		t.hostUp(src, rail),
+		t.leafUp(sl, spine),
+		t.leafDown(dl, spine),
+		t.hostDown(dst, rail),
+	}, nil
+}
+
+// MinskyFabric returns the paper's cluster fabric: up to `hosts` Minsky
+// nodes, two 100 Gb/s rails per host (ConnectX-5), non-blocking two-level
+// fat tree. Effective per-rail bandwidth is set to 11 GB/s (100 Gb/s line
+// rate less protocol overhead) and flow latency to 5 µs.
+func MinskyFabric(hosts int) *FatTree {
+	hostsPerLeaf := 8
+	if hosts < 8 {
+		hostsPerLeaf = hosts
+	}
+	leaves := (hosts + hostsPerLeaf - 1) / hostsPerLeaf
+	spines := leaves // non-blocking at the observed scales
+	if spines < 1 {
+		spines = 1
+	}
+	t, err := NewFatTree(hosts, hostsPerLeaf, spines, 2, 11e9, 2*11e9*float64(hostsPerLeaf)/float64(spines)/2, 5e-6)
+	if err != nil {
+		panic(err) // parameters are internal constants
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package tensor
+
+// Im2Col lowers a single image (C×H×W, flat row-major in src) into a column
+// matrix of shape (C*kh*kw) × (outH*outW) stored flat row-major in dst, so a
+// convolution becomes one GEMM: weights (outC × C*kh*kw) times columns.
+// Out-of-bounds taps (from padding) contribute zeros.
+func Im2Col(src []float32, channels, height, width, kh, kw, strideH, strideW, padH, padW int, dst []float32) (outH, outW int) {
+	outH = (height+2*padH-kh)/strideH + 1
+	outW = (width+2*padW-kw)/strideW + 1
+	cols := outH * outW
+	row := 0
+	for c := 0; c < channels; c++ {
+		plane := src[c*height*width : (c+1)*height*width]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				drow := dst[row*cols : (row+1)*cols]
+				row++
+				di := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*strideH - padH + ky
+					if iy < 0 || iy >= height {
+						for ox := 0; ox < outW; ox++ {
+							drow[di] = 0
+							di++
+						}
+						continue
+					}
+					base := iy * width
+					ix := -padW + kx
+					for ox := 0; ox < outW; ox++ {
+						if ix >= 0 && ix < width {
+							drow[di] = plane[base+ix]
+						} else {
+							drow[di] = 0
+						}
+						di++
+						ix += strideW
+					}
+				}
+			}
+		}
+	}
+	return outH, outW
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters-and-accumulates the column
+// matrix back into an image gradient of shape C×H×W (dst is NOT zeroed first;
+// callers zero it when they want a pure adjoint).
+func Col2Im(cols []float32, channels, height, width, kh, kw, strideH, strideW, padH, padW int, dst []float32) {
+	outH := (height+2*padH-kh)/strideH + 1
+	outW := (width+2*padW-kw)/strideW + 1
+	n := outH * outW
+	row := 0
+	for c := 0; c < channels; c++ {
+		plane := dst[c*height*width : (c+1)*height*width]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				srow := cols[row*n : (row+1)*n]
+				row++
+				si := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*strideH - padH + ky
+					if iy < 0 || iy >= height {
+						si += outW
+						continue
+					}
+					base := iy * width
+					ix := -padW + kx
+					for ox := 0; ox < outW; ox++ {
+						if ix >= 0 && ix < width {
+							plane[base+ix] += srow[si]
+						}
+						si++
+						ix += strideW
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution/pooling with
+// the given geometry.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

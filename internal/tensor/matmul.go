@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul computes C = A × B for 2-D tensors, allocating C. A is (m×k),
+// B is (k×n), C is (m×n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul wants 2-D operands, got %v × %v", a.Shape(), b.Shape())
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dims differ: %v × %v", a.Shape(), b.Shape())
+	}
+	c := New(m, n)
+	Gemm(false, false, m, n, k, 1, a.Data, b.Data, 0, c.Data)
+	return c, nil
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C over flat row-major buffers,
+// where op is identity or transpose per transA/transB. m, n, k are the
+// dimensions of op(A) (m×k) and op(B) (k×n); storage is row-major with A
+// stored m×k (or k×m when transA) and B stored k×n (or n×k when transB).
+// Row blocks of C are computed in parallel when the problem is large enough
+// to amortize goroutine startup.
+func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c[:m*n] {
+			c[i] *= beta
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	const minFlopsPerWorker = 1 << 17
+	if flops := m * n * k; flops/workers < minFlopsPerWorker {
+		workers = flops/minFlopsPerWorker + 1
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		gemmRows(transA, transB, 0, m, m, n, k, alpha, a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(transA, transB, lo, hi, m, n, k, alpha, a, b, c)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows accumulates rows [lo,hi) of C += alpha*op(A)*op(B). fullM is the
+// complete row count of op(A); it is the row stride of A when transA is set.
+func gemmRows(transA, transB bool, lo, hi, fullM, n, k int, alpha float32, a, b []float32, c []float32) {
+	switch {
+	case !transA && !transB:
+		// ikj loop with hoisted scalar: contiguous runs over B and C rows.
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			ai := a[i*k : i*k+k]
+			for p, av := range ai {
+				s := alpha * av
+				if s == 0 {
+					continue
+				}
+				bp := b[p*n : p*n+n]
+				for j, bv := range bp {
+					ci[j] += s * bv
+				}
+			}
+		}
+	case transA && !transB:
+		// A stored k×fullM: op(A)[i,p] = a[p*fullM+i].
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				s := alpha * a[p*fullM+i]
+				if s == 0 {
+					continue
+				}
+				bp := b[p*n : p*n+n]
+				for j, bv := range bp {
+					ci[j] += s * bv
+				}
+			}
+		}
+	case !transA && transB:
+		// B stored n×k: op(B)[p,j] = b[j*k+p]; row-by-row dot products.
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : i*k+k]
+			ci := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : j*k+k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	default: // transA && transB
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : j*k+k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a[p*fullM+i] * bj[p]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	}
+}
