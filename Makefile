@@ -1,0 +1,29 @@
+# Mirrors .github/workflows/ci.yml: `make build test bench lint` is what CI
+# runs, so a green local make means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race bench lint clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 40m ./...
+
+# Every benchmark once — the CI smoke run. Full measurement runs want
+# `go test -bench=. -benchtime=10x .` by hand.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | test -z "$$(cat)"
+
+clean:
+	$(GO) clean ./...

@@ -1,10 +1,13 @@
 // benchtool regenerates any table or figure of the paper's evaluation from
 // the calibrated cluster model. Each experiment prints the same rows/series
-// the paper reports.
+// the paper reports. With -compress it instead runs a real (in-process)
+// training workload through the bucketed compressed allreduce and reports
+// wire bytes moved and final loss, for codec trade-off comparisons.
 //
 //	benchtool -exp table1
 //	benchtool -exp fig5 -nodes 16
 //	benchtool -exp all
+//	benchtool -compress=int8      # vs: benchtool -compress=none
 package main
 
 import (
@@ -14,6 +17,11 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/allreduce"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/sgd"
 	"repro/internal/simcluster"
 )
 
@@ -21,7 +29,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: fig5..fig16, table1, table2, or all")
 	nodes := flag.Int("nodes", 16, "node count for fig5")
 	plot := flag.Bool("plot", false, "render figs 13-16 as ASCII charts instead of tables")
+	compressAlg := flag.String("compress", "", "run the compression workload with this codec (none|int8|topk) instead of the paper experiments")
+	topkRatio := flag.Float64("topk-ratio", 0.1, "kept fraction per bucket for -compress=topk")
+	learners := flag.Int("learners", 4, "learner count for the compression workload")
+	steps := flag.Int("steps", 60, "steps for the compression workload")
 	flag.Parse()
+
+	if *compressAlg != "" {
+		if err := compressWorkload(*compressAlg, *topkRatio, *learners, *steps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	c := simcluster.New(64, simcluster.DefaultParams())
 	ids := []string{*exp}
@@ -44,6 +63,64 @@ func main() {
 		}
 		fmt.Println(tbl)
 	}
+}
+
+// compressWorkload trains a fixed synthetic workload through the bucketed
+// compressed allreduce and prints the codec's bytes-moved/accuracy trade-off.
+// Every parameter except the codec is held constant (fixed seeds, slice-
+// dealt batches), so runs with different -compress values are directly
+// comparable: same data, same model, same schedule.
+func compressWorkload(codec string, topkRatio float64, learners, steps int) error {
+	const classes, size, images, globalBatch = 3, 8, 24, 12
+	if learners <= 0 || globalBatch%learners != 0 {
+		return fmt.Errorf("benchtool: -learners must divide the fixed global batch %d (got %d) so runs stay comparable", globalBatch, learners)
+	}
+	dataX, dataLabels := core.SyntheticTensorData(images, classes, size, 23)
+	newReplica := func(seed int64) nn.Layer {
+		return core.SmallBNFreeCNN(classes, size, 500+seed)
+	}
+	res, err := core.RunCluster(core.ClusterConfig{
+		Learners:       learners,
+		DevicesPerNode: 1,
+		NewReplica:     newReplica,
+		NewSource: func(rank int) core.BatchSource {
+			return &core.SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: learners}
+		},
+		Steps:  steps,
+		InputC: 3, InputH: size, InputW: size,
+		Learner: core.Config{
+			BatchPerDevice: globalBatch / learners,
+			Allreduce:      allreduce.AlgMultiColor,
+			Schedule:       sgd.Const(0.1),
+			SGD:            sgd.DefaultConfig(),
+			Compression: compress.Config{
+				Codec:         codec,
+				TopKRatio:     topkRatio,
+				ErrorFeedback: true,
+				BucketFloats:  2048,
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	losses := res.Losses[0]
+	tail := 5
+	if tail > len(losses) {
+		tail = len(losses)
+	}
+	var finalLoss float64
+	for _, l := range losses[len(losses)-tail:] {
+		finalLoss += l
+	}
+	finalLoss /= float64(tail)
+	cs := res.CommStats[0]
+	moved := cs.BytesSent + cs.BytesRecv
+	fmt.Printf("compressed-allreduce workload: codec=%s learners=%d steps=%d model=bnfree-cnn\n", codec, learners, steps)
+	fmt.Printf("  BytesMoved: %d (allreduce wire bytes, rank 0, send+recv)\n", moved)
+	fmt.Printf("  raw equivalent: %d bytes (compression ratio %.2fx)\n", 2*cs.RawBytes, cs.Ratio())
+	fmt.Printf("  final loss: %.6f (mean of last %d steps; first step %.6f)\n", finalLoss, tail, losses[0])
+	return nil
 }
 
 // plotCurve renders figs 13-16 as ASCII charts; ok is false for other ids.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/allreduce"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dimd"
@@ -41,6 +42,10 @@ func main() {
 		useFiles     = flag.Bool("files", false, "use the baseline file-per-image loader DIMD replaces")
 		shuffleEvery = flag.Int("shuffle-every", 10, "steps between DIMD shuffles (with -dimd)")
 		seed         = flag.Int64("seed", 1, "random seed")
+		compressAlg  = flag.String("compress", "", "gradient compression codec: none|int8|topk (empty = legacy uncompressed path)")
+		topkRatio    = flag.Float64("topk-ratio", 0.1, "fraction of elements kept per bucket (with -compress=topk)")
+		bucketFloats = flag.Int("bucket-floats", 16384, "bucketed-allreduce bucket size in float32 elements")
+		errFeedback  = flag.Bool("error-feedback", true, "accumulate compression error into the next step (lossy codecs)")
 	)
 	flag.Parse()
 
@@ -67,6 +72,12 @@ func main() {
 			Allreduce:      allreduce.Algorithm(*alg),
 			Schedule:       sgd.Const(*lr),
 			SGD:            sgd.DefaultConfig(),
+			Compression: compress.Config{
+				Codec:         *compressAlg,
+				TopKRatio:     *topkRatio,
+				BucketFloats:  *bucketFloats,
+				ErrorFeedback: *errFeedback,
+			},
 		},
 	}
 
@@ -158,5 +169,9 @@ func main() {
 		fmt.Printf("learner 0 phase breakdown (Algorithm 1):\n")
 		fmt.Printf("  data %5.1f%%  compute %5.1f%%  intra-node %5.1f%%  allreduce %5.1f%%  update %5.1f%%\n",
 			100*ph.Data/total, 100*ph.Compute/total, 100*ph.IntraNode/total, 100*ph.AllReduce/total, 100*ph.Update/total)
+	}
+	if cs := res.CommStats[0]; cs.BytesSent > 0 || cs.Buckets > 0 {
+		fmt.Printf("gradient compression (%s): sent %d bytes over %d buckets (raw %d, ratio %.2fx)\n",
+			*compressAlg, cs.BytesSent, cs.Buckets, cs.RawBytes, cs.Ratio())
 	}
 }

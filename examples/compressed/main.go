@@ -1,0 +1,111 @@
+// compressed demonstrates the gradient-compression codecs on a real
+// in-process training run: the same synthetic workload is trained once per
+// codec regime (uncompressed bucketed baseline, int8 quantization, top-k
+// sparsification with error feedback) and the final table shows the
+// bytes-moved / final-loss trade-off — convergence parity at a fraction of
+// the communication volume.
+//
+// Run: go run ./examples/compressed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/allreduce"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+)
+
+func main() {
+	const (
+		classes  = 3
+		size     = 8
+		learners = 4
+		steps    = 80
+	)
+	dataX, dataLabels := core.SyntheticTensorData(24, classes, size, 23)
+	newReplica := func(seed int64) nn.Layer {
+		return core.SmallBNFreeCNN(classes, size, 500+seed)
+	}
+
+	regimes := []struct {
+		label string
+		comp  compress.Config
+	}{
+		{"none (bucketed identity)", compress.Config{Codec: "none", BucketFloats: 2048}},
+		{"int8 per-bucket scale", compress.Config{Codec: "int8", BucketFloats: 2048}},
+		{"topk 10% + error feedback", compress.Config{Codec: "topk", TopKRatio: 0.1, ErrorFeedback: true, BucketFloats: 2048}},
+	}
+
+	type row struct {
+		label  string
+		loss   float64
+		acc    float64
+		sent   int64
+		ratio  float64
+		inSync bool
+	}
+	var rows []row
+	for _, reg := range regimes {
+		var acc float64
+		res, err := core.RunCluster(core.ClusterConfig{
+			Learners:       learners,
+			DevicesPerNode: 1,
+			NewReplica:     newReplica,
+			NewSource: func(rank int) core.BatchSource {
+				return &core.SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: learners}
+			},
+			Steps:  steps,
+			InputC: 3, InputH: size, InputW: size,
+			Learner: core.Config{
+				BatchPerDevice: 12 / learners,
+				Allreduce:      allreduce.AlgMultiColor,
+				Schedule:       sgd.Const(0.1),
+				SGD:            sgd.DefaultConfig(),
+				Compression:    reg.comp,
+			},
+			EvalEvery: steps,
+			Eval: func(step int, l *core.Learner) {
+				a, _, err := l.Evaluate(dataX, dataLabels)
+				if err == nil {
+					acc = a
+				}
+			},
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", reg.label, err)
+		}
+		inSync := true
+		for r := 1; r < learners; r++ {
+			for i := range res.FinalWeights[0] {
+				if res.FinalWeights[r][i] != res.FinalWeights[0][i] {
+					inSync = false
+				}
+			}
+		}
+		var tailLoss float64
+		for _, l := range res.Losses[0][steps-5:] {
+			tailLoss += l
+		}
+		cs := res.CommStats[0]
+		rows = append(rows, row{
+			label:  reg.label,
+			loss:   tailLoss / 5,
+			acc:    acc,
+			sent:   cs.BytesSent + cs.BytesRecv,
+			ratio:  cs.Ratio(),
+			inSync: inSync,
+		})
+	}
+
+	fmt.Printf("gradient compression on %d learners, %d steps (same data, model, schedule):\n\n", learners, steps)
+	fmt.Printf("  %-28s  %12s  %7s  %10s  %8s  %s\n", "codec", "final loss", "acc", "wire bytes", "ratio", "replicas in sync")
+	for _, r := range rows {
+		fmt.Printf("  %-28s  %12.6f  %6.1f%%  %10d  %7.2fx  %v\n",
+			r.label, r.loss, 100*r.acc, r.sent, r.ratio, r.inSync)
+	}
+	fmt.Println("\nall regimes train to parity; the lossy codecs move a fraction of the bytes.")
+}

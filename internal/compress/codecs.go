@@ -1,0 +1,164 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// Identity moves raw little-endian float32 bytes — no compression. It is the
+// "none" codec: running it through the bucketed path makes wire-byte
+// accounting directly comparable with the lossy codecs.
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "none" }
+
+// Compress implements Codec.
+func (Identity) Compress(src []float32) []byte {
+	return mpi.Float32sToBytes(src)
+}
+
+// Decompress implements Codec.
+func (Identity) Decompress(dst []float32, payload []byte) error {
+	if len(payload) != 4*len(dst) {
+		return fmt.Errorf("compress: identity payload %d bytes, want %d", len(payload), 4*len(dst))
+	}
+	mpi.DecodeFloat32s(dst, payload)
+	return nil
+}
+
+// Int8 quantizes a bucket to signed 8-bit integers with one shared linear
+// scale: scale = max|v|/127, q = round(v/scale). Payload is 4 bytes of scale
+// followed by one byte per element — a fixed 3.97x reduction (4n -> n+4).
+// The worst-case round-trip error per element is scale/2 = max|v|/254.
+type Int8 struct{}
+
+// Name implements Codec.
+func (Int8) Name() string { return "int8" }
+
+// Compress implements Codec.
+func (Int8) Compress(src []float32) []byte {
+	var maxAbs float32
+	for _, v := range src {
+		a := float32(math.Abs(float64(v)))
+		if a > maxAbs || math.IsNaN(float64(a)) {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	b := make([]byte, 4+len(src))
+	binary.LittleEndian.PutUint32(b, math.Float32bits(scale))
+	if scale == 0 {
+		return b // all-zero bucket (or all subnormal): quantizes to zeros
+	}
+	if math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
+		// A NaN/Inf gradient element must surface as divergence, exactly as
+		// the uncompressed path would: a non-finite scale decodes the whole
+		// bucket to NaN. Quantized bytes stay zero — float-to-int conversion
+		// of non-finite values is implementation-defined, so don't attempt it.
+		return b
+	}
+	for i, v := range src {
+		q := math.RoundToEven(float64(v / scale))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		b[4+i] = byte(int8(q))
+	}
+	return b
+}
+
+// Decompress implements Codec.
+func (Int8) Decompress(dst []float32, payload []byte) error {
+	if len(payload) != 4+len(dst) {
+		return fmt.Errorf("compress: int8 payload %d bytes, want %d", len(payload), 4+len(dst))
+	}
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(payload))
+	for i := range dst {
+		dst[i] = float32(int8(payload[4+i])) * scale
+	}
+	return nil
+}
+
+// TopK keeps the ceil(Ratio*n) largest-magnitude elements of a bucket at
+// full precision and drops the rest. Payload: 4-byte element count k, then k
+// 4-byte indices, then k 4-byte values. Kept values round-trip exactly;
+// dropped mass is what error feedback recovers across steps. Ties break
+// toward the lower index so payloads are deterministic.
+type TopK struct {
+	// Ratio is the kept fraction in (0, 1].
+	Ratio float64
+}
+
+// Name implements Codec.
+func (TopK) Name() string { return "topk" }
+
+// keep returns k for a bucket of n elements: at least 1, at most n.
+func (t TopK) keep(n int) int {
+	k := int(math.Ceil(t.Ratio * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Compress implements Codec.
+func (t TopK) Compress(src []float32) []byte {
+	n := len(src)
+	k := t.keep(n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		av := math.Abs(float64(src[idx[a]]))
+		bv := math.Abs(float64(src[idx[b]]))
+		if av != bv {
+			return av > bv
+		}
+		return idx[a] < idx[b]
+	})
+	kept := idx[:k]
+	sort.Ints(kept) // ascending index order keeps payloads canonical
+	b := make([]byte, 4+8*k)
+	binary.LittleEndian.PutUint32(b, uint32(k))
+	for i, j := range kept {
+		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(j))
+		binary.LittleEndian.PutUint32(b[4+4*k+4*i:], math.Float32bits(src[j]))
+	}
+	return b
+}
+
+// Decompress implements Codec.
+func (t TopK) Decompress(dst []float32, payload []byte) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("compress: topk payload %d bytes, want >= 4", len(payload))
+	}
+	k := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+8*k {
+		return fmt.Errorf("compress: topk payload %d bytes, want %d for k=%d", len(payload), 4+8*k, k)
+	}
+	if k > len(dst) {
+		return fmt.Errorf("compress: topk k=%d exceeds bucket length %d", k, len(dst))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		j := int(binary.LittleEndian.Uint32(payload[4+4*i:]))
+		if j >= len(dst) {
+			return fmt.Errorf("compress: topk index %d exceeds bucket length %d", j, len(dst))
+		}
+		dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4+4*k+4*i:]))
+	}
+	return nil
+}

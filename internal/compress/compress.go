@@ -1,0 +1,105 @@
+// Package compress implements gradient-compression codecs for the
+// communication-efficient allreduce path: identity (no compression, the
+// accounting baseline), int8 linear quantization with a per-bucket scale,
+// and top-k sparsification. Codecs operate on one bucket of the flattened
+// gradient at a time (internal/allreduce.BucketedAllReduce drives them) and
+// are deterministic: the same input always yields the same payload, so every
+// rank decodes identical values and model replicas stay bitwise in sync.
+//
+// Lossy codecs pair with error-feedback residual accumulation (Feedback):
+// the compression error of step t is added back into the gradient of step
+// t+1, which restores convergence for aggressive sparsification.
+package compress
+
+import (
+	"fmt"
+)
+
+// Codec encodes a float32 vector into a byte payload and back. Compress and
+// Decompress must round-trip lengths exactly: a payload produced from n
+// floats decompresses into a length-n destination.
+type Codec interface {
+	// Name identifies the codec in flags, stats, and logs.
+	Name() string
+	// Compress encodes src into a fresh payload.
+	Compress(src []float32) []byte
+	// Decompress decodes payload into dst, overwriting every element. It
+	// errors if the payload does not describe exactly len(dst) floats.
+	Decompress(dst []float32, payload []byte) error
+}
+
+// Config selects and tunes a codec; the zero value means "uncompressed
+// legacy path" (no bucketed allreduce at all). Codec "none" runs the
+// bucketed path with the identity codec, so byte accounting is comparable
+// against the lossy codecs.
+type Config struct {
+	// Codec is one of "", "none", "int8", "topk".
+	Codec string
+	// TopKRatio is the fraction of elements the topk codec keeps per bucket
+	// (default 0.1, clamped to (0, 1]).
+	TopKRatio float64
+	// BucketFloats is the bucketed-allreduce bucket size in float32 elements
+	// (default 16384 = 64 KiB uncompressed).
+	BucketFloats int
+	// ErrorFeedback enables residual accumulation for lossy codecs.
+	ErrorFeedback bool
+}
+
+// Enabled reports whether the bucketed/compressed allreduce path is active.
+func (c Config) Enabled() bool { return c.Codec != "" }
+
+// New constructs the configured codec.
+func New(cfg Config) (Codec, error) {
+	switch cfg.Codec {
+	case "", "none", "identity":
+		return Identity{}, nil
+	case "int8":
+		return Int8{}, nil
+	case "topk":
+		r := cfg.TopKRatio
+		if r <= 0 {
+			r = 0.1
+		}
+		if r > 1 {
+			r = 1
+		}
+		return TopK{Ratio: r}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q", cfg.Codec)
+	}
+}
+
+// Feedback maintains the error-feedback residual e_t across steps:
+//
+//	g'_t = g_t + e_t          (Correct)
+//	sent = D(C(g'_t))         (what the wire actually carried)
+//	e_{t+1} = g'_t - sent     (Update)
+//
+// so no gradient mass is lost to compression — it is merely delayed.
+type Feedback struct {
+	residual []float32
+}
+
+// NewFeedback creates a zeroed residual for gradients of length n.
+func NewFeedback(n int) *Feedback {
+	return &Feedback{residual: make([]float32, n)}
+}
+
+// Correct adds the accumulated residual into g in place.
+func (f *Feedback) Correct(g []float32) {
+	for i, r := range f.residual {
+		g[i] += r
+	}
+}
+
+// Update records the new residual given the corrected gradient and the
+// values the codec actually transmitted.
+func (f *Feedback) Update(corrected, sent []float32) {
+	for i := range f.residual {
+		f.residual[i] = corrected[i] - sent[i]
+	}
+}
+
+// Residual exposes the current residual (read-only by convention; tests use
+// it to assert the accounting identity).
+func (f *Feedback) Residual() []float32 { return f.residual }

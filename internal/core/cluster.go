@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/allreduce"
 	"repro/internal/dimd"
 	"repro/internal/mpi"
 	"repro/internal/nn"
@@ -47,6 +48,9 @@ type ClusterResult struct {
 	FinalWeights [][]float32
 	// Phases[r] is learner r's cumulative per-phase wall time.
 	Phases []PhaseTimes
+	// CommStats[r] is learner r's cumulative compressed-allreduce traffic
+	// (all zero when the run used the uncompressed path).
+	CommStats []allreduce.CompressedStats
 }
 
 // RunCluster executes the job on an in-process world and returns per-step
@@ -63,6 +67,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		Losses:       make([][]float64, cfg.Learners),
 		FinalWeights: make([][]float32, cfg.Learners),
 		Phases:       make([]PhaseTimes, cfg.Learners),
+		CommStats:    make([]allreduce.CompressedStats, cfg.Learners),
 	}
 	var mu sync.Mutex
 	err := world.Run(func(c *mpi.Comm) error {
@@ -117,6 +122,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		res.Losses[rank] = losses
 		res.FinalWeights[rank] = w
 		res.Phases[rank] = l.Phases()
+		res.CommStats[rank] = l.CommStats()
 		mu.Unlock()
 		return nil
 	})
@@ -124,6 +130,23 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// SmallBNFreeCNN builds the batch-norm-free reference CNN shared by the
+// functional experiments, the benchtool compression workload, and the
+// compressed example. BN computes statistics per device partition, so
+// cross-configuration comparisons (serial vs distributed, codec vs codec)
+// need a BN-free model; keeping one definition keeps those runs comparable.
+func SmallBNFreeCNN(classes, size int, seed int64) nn.Layer {
+	rng := tensor.NewRNG(seed)
+	final := size / 2
+	return nn.NewSequential("bnfree",
+		nn.NewConv2D("c1", 3, 6, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2D("p1", 2, 2, 2, 2, 0, 0),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", 6*final*final, classes, rng),
+	)
 }
 
 // SyntheticTensorData materializes a deterministic labelled dataset of n

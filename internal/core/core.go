@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/allreduce"
+	"repro/internal/compress"
 	"repro/internal/dimd"
 	"repro/internal/dpt"
 	"repro/internal/imagecodec"
@@ -122,6 +123,12 @@ type Config struct {
 	// GradScale overrides the default 1/(ranks·devices) gradient scaling
 	// when nonzero (tests use 1 to inspect raw sums).
 	GradScale float32
+	// Compression, when its Codec is set, routes the inter-node gradient
+	// exchange through the bucketed compressed allreduce instead of the
+	// Allreduce algorithm above. Codec "none" keeps values exact while using
+	// the same bucketed path (for byte-accounting comparisons); "int8" and
+	// "topk" are lossy and usually pair with ErrorFeedback.
+	Compression compress.Config
 }
 
 // PhaseTimes accumulates wall time per Algorithm 1 phase — the step
@@ -153,6 +160,13 @@ type Learner struct {
 	step    int
 	scale   float32
 	phases  PhaseTimes
+
+	// Compressed-allreduce state (nil/empty when Compression is off).
+	codec       compress.Codec
+	feedback    *compress.Feedback
+	corrected   []float32 // gradient after residual correction, pre-exchange
+	selfDecoded []float32 // decode of this rank's own transmitted payloads
+	commStats   allreduce.CompressedStats
 }
 
 // NewLearner constructs a learner over comm from per-device model replicas.
@@ -180,6 +194,20 @@ func NewLearner(comm *mpi.Comm, replicas []nn.Layer, source BatchSource, inputC,
 		source:  source,
 		cfg:     cfg,
 		gradBuf: make([]float32, engine.GradSize()),
+	}
+	if cfg.Compression.Enabled() {
+		codec, err := compress.New(cfg.Compression)
+		if err != nil {
+			engine.Close()
+			return nil, err
+		}
+		l.codec = codec
+		engine.SetCompression(cfg.Compression)
+		if cfg.Compression.ErrorFeedback {
+			l.feedback = compress.NewFeedback(engine.GradSize())
+			l.corrected = make([]float32, engine.GradSize())
+			l.selfDecoded = make([]float32, engine.GradSize())
+		}
 	}
 	m := engine.NumDevices()
 	bNode := cfg.BatchPerDevice * m
@@ -250,8 +278,26 @@ func (l *Learner) Step() (float64, error) {
 	}
 	t3 := time.Now()
 	l.phases.IntraNode += t3.Sub(t2).Seconds()
-	// 4. Global inter-node summation (MPI allreduce).
-	if err := allreduce.AllReduce(l.comm, l.gradBuf, l.cfg.Allreduce, l.cfg.AllreduceOpts); err != nil {
+	// 4. Global inter-node summation (MPI allreduce) — through the bucketed
+	// compressed path when a codec is configured.
+	if l.codec != nil {
+		if l.feedback != nil {
+			l.feedback.Correct(l.gradBuf)
+			copy(l.corrected, l.gradBuf)
+		}
+		st, err := allreduce.BucketedAllReduce(l.comm, l.gradBuf, l.codec, allreduce.CompressedOptions{
+			BucketFloats: l.cfg.Compression.BucketFloats,
+			SelfDecoded:  l.selfDecoded,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("core: compressed allreduce: %w", err)
+		}
+		l.commStats.Add(st)
+		l.engine.AddAllReduceBytes(st.BytesSent + st.BytesRecv)
+		if l.feedback != nil {
+			l.feedback.Update(l.corrected, l.selfDecoded)
+		}
+	} else if err := allreduce.AllReduce(l.comm, l.gradBuf, l.cfg.Allreduce, l.cfg.AllreduceOpts); err != nil {
 		return 0, fmt.Errorf("core: allreduce: %w", err)
 	}
 	t4 := time.Now()
@@ -278,6 +324,10 @@ func (l *Learner) Step() (float64, error) {
 
 // Phases returns the cumulative per-phase wall times.
 func (l *Learner) Phases() PhaseTimes { return l.phases }
+
+// CommStats returns the cumulative compressed-allreduce traffic counters
+// (zero when compression is off).
+func (l *Learner) CommStats() allreduce.CompressedStats { return l.commStats }
 
 func (l *Learner) currentLR() float32 {
 	epoch := 0.0

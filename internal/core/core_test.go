@@ -18,15 +18,7 @@ import (
 // bnFreeCNN builds a small model without batch norm so distributed and
 // serial runs are numerically comparable (BN statistics are per-device).
 func bnFreeCNN(classes, size int, seed int64) nn.Layer {
-	rng := tensor.NewRNG(seed)
-	final := size / 2
-	return nn.NewSequential("bnfree",
-		nn.NewConv2D("c1", 3, 6, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
-		nn.NewReLU("r1"),
-		nn.NewMaxPool2D("p1", 2, 2, 2, 2, 0, 0),
-		nn.NewFlatten("fl"),
-		nn.NewLinear("fc", 6*final*final, classes, rng),
-	)
+	return SmallBNFreeCNN(classes, size, seed)
 }
 
 // TestSerialVsDistributedEquivalence is the repository's strongest

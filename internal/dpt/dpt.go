@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -43,6 +44,11 @@ type Stats struct {
 	// CriterionSerial counts criterion evaluations performed serially on
 	// the main thread (baseline) rather than on the devices.
 	CriterionSerial int64
+	// AllReduceBytes counts inter-node gradient-exchange wire bytes — the
+	// compressed payloads when a codec is configured. The training loop
+	// (core.Learner) reports them here so one Stats snapshot accounts for
+	// all of a node's data movement.
+	AllReduceBytes int64
 }
 
 // device is one worker owning a model replica.
@@ -75,12 +81,13 @@ func (d *device) submit(fn func()) {
 
 // Engine schedules training steps across the node's devices.
 type Engine struct {
-	devices   []*device
-	optimized bool
-	gradSize  int
-	mu        sync.Mutex
-	stats     Stats
-	closed    bool
+	devices     []*device
+	optimized   bool
+	gradSize    int
+	mu          sync.Mutex
+	stats       Stats
+	compression compress.Config
+	closed      bool
 }
 
 // New builds an engine over the given model replicas (one per device, same
@@ -129,6 +136,31 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// SetCompression records the gradient-compression configuration this node
+// trains with. The compression itself runs in the allreduce path; the engine
+// carries the config so stats consumers (benchtool, examples) can attribute
+// the byte counts to a codec.
+func (e *Engine) SetCompression(cfg compress.Config) {
+	e.mu.Lock()
+	e.compression = cfg
+	e.mu.Unlock()
+}
+
+// Compression returns the recorded gradient-compression configuration.
+func (e *Engine) Compression() compress.Config {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compression
+}
+
+// AddAllReduceBytes accumulates inter-node gradient-exchange wire bytes into
+// the engine's stats.
+func (e *Engine) AddAllReduceBytes(n int64) {
+	e.mu.Lock()
+	e.stats.AllReduceBytes += n
+	e.mu.Unlock()
 }
 
 // Close terminates the device workers.
@@ -183,11 +215,18 @@ func (e *Engine) stepOptimized(x *tensor.Tensor, labels []int, sizes []int) (flo
 	rowLen := x.Len() / x.Dim(0)
 	off := 0
 	for i, d := range e.devices {
+		d := d // job closures must bind this iteration's device, not the shared range variable
 		lo, hi := off, off+sizes[i]
 		off = hi
+		d.partN = hi - lo
+		if d.partN == 0 {
+			// Empty row shard: nothing to forward, but grads must still be
+			// zeroed so SumGrads doesn't pick up a stale contribution.
+			d.submit(func() { nn.ZeroGrads(d.params) })
+			continue
+		}
 		part := x.MustSliceRows(lo, hi)
 		lbl := labels[lo:hi]
-		d.partN = hi - lo
 		d.submit(func() {
 			// Direct host->device transfer of just this partition.
 			d.input = part.Clone()
@@ -213,6 +252,9 @@ func (e *Engine) stepOptimized(x *tensor.Tensor, labels []int, sizes []int) (flo
 		e.mu.Lock()
 		e.stats.Serializations++
 		e.mu.Unlock()
+		if d.partN == 0 {
+			continue
+		}
 		if d.loss < 0 {
 			return 0, errors.New("dpt: criterion failed on device")
 		}
@@ -242,10 +284,15 @@ func (e *Engine) stepBaseline(x *tensor.Tensor, labels []int, sizes []int) (floa
 
 	off := 0
 	for i, d := range e.devices {
+		d := d // job closures must bind this iteration's device, not the shared range variable
 		lo, hi := off, off+sizes[i]
 		off = hi
-		part := staged.MustSliceRows(lo, hi)
 		d.partN = hi - lo
+		if d.partN == 0 {
+			d.submit(func() { nn.ZeroGrads(d.params) })
+			continue
+		}
+		part := staged.MustSliceRows(lo, hi)
 		d.submit(func() {
 			d.input = part.Clone() // GPU1 -> GPUi
 			nn.ZeroGrads(d.params)
@@ -257,6 +304,9 @@ func (e *Engine) stepBaseline(x *tensor.Tensor, labels []int, sizes []int) (floa
 	// Phase 2: forward on every device; each job's end is serialized.
 	for _, d := range e.devices {
 		d.done.Wait()
+		if d.partN == 0 {
+			continue
+		}
 		dd := d
 		d.submit(func() { dd.logits = dd.model.Forward(dd.input, true) })
 	}
@@ -265,13 +315,16 @@ func (e *Engine) stepBaseline(x *tensor.Tensor, labels []int, sizes []int) (floa
 	grads := make([]*tensor.Tensor, len(e.devices))
 	for i, d := range e.devices {
 		d.done.Wait()
+		lo, hi := off, off+sizes[i]
+		off = hi
+		if hi == lo {
+			continue
+		}
 		e.mu.Lock()
 		e.stats.Serializations++ // forward ending callback
 		e.mu.Unlock()
 		// Phase 3: criterion NOT parallelized — evaluated on the main
 		// thread per partition.
-		lo, hi := off, off+sizes[i]
-		off = hi
 		l, err := d.crit.Forward(d.logits, labels[lo:hi])
 		if err != nil {
 			return 0, err
@@ -284,6 +337,9 @@ func (e *Engine) stepBaseline(x *tensor.Tensor, labels []int, sizes []int) (floa
 	}
 	// Phase 4: backward on every device, again with serialized endings.
 	for i, d := range e.devices {
+		if grads[i] == nil {
+			continue
+		}
 		dd, g := d, grads[i]
 		d.submit(func() { dd.model.Backward(g) })
 	}
