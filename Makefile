@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint clean
+.PHONY: all build test race bench overlap lint clean
 
 all: lint build test
 
@@ -20,6 +20,11 @@ race:
 # `go test -bench=. -benchtime=10x .` by hand.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# The overlap workload CI runs: phased vs reactive schedules of the same
+# comm-heavy job, with the JSON report benchtool uploads as an artifact.
+overlap:
+	$(GO) run ./cmd/benchtool -overlap -learners 2 -devices 1 -steps 10 -json overlap.json
 
 lint:
 	$(GO) vet ./...

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/allreduce"
 	"repro/internal/compress"
@@ -576,6 +577,58 @@ func BenchmarkFunctionalTrainStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFunctionalOverlapPipeline measures the reactive gradient pipeline
+// against the phased bucketed allreduce on a comm-heavy latency-injected
+// cluster: same job, same bytes, different schedule. Reported metrics are
+// per-step wall times and the overlap efficiency (overlapped step time over
+// the phased compute+comm sum; < 1 means communication was hidden under
+// backward compute).
+func BenchmarkFunctionalOverlapPipeline(b *testing.B) {
+	const learners, classes, size, batch, steps = 2, 8, 24, 32, 4
+	link := mpi.LinkProfile{Latency: 8 * time.Millisecond, BytesPerSec: 64 << 20}
+	dataX, dataLabels := core.SyntheticTensorData(batch*learners, classes, size, 23)
+	run := func(overlap bool) (stepS, computeS, commS float64) {
+		start := time.Now()
+		res, err := core.RunCluster(core.ClusterConfig{
+			Learners:       learners,
+			DevicesPerNode: 1,
+			NewReplica:     func(seed int64) nn.Layer { return core.OverlapBenchModel(classes, size, 900+seed) },
+			NewSource: func(rank int) core.BatchSource {
+				return &core.SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: learners}
+			},
+			Steps:  steps,
+			InputC: 3, InputH: size, InputW: size,
+			NewWorld: func(n int) *mpi.World { return mpi.NewLatencyWorld(n, link) },
+			Learner: core.Config{
+				BatchPerDevice:  batch,
+				Allreduce:       allreduce.AlgMultiColor,
+				Schedule:        sgd.Const(0.05),
+				SGD:             sgd.DefaultConfig(),
+				Compression:     compress.Config{Codec: "none", BucketFloats: 1024},
+				Overlap:         overlap,
+				OverlapInFlight: 16,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ph := res.Phases[0]
+		return time.Since(start).Seconds() / steps, ph.Compute / steps, ph.AllReduce / steps
+	}
+	var eff, phasedStep, overlapStep float64
+	for i := 0; i < b.N; i++ {
+		var computeS, commS float64
+		phasedStep, computeS, commS = run(false)
+		overlapStep, _, _ = run(true)
+		if sum := computeS + commS; sum > 0 {
+			eff = overlapStep / sum
+		}
+	}
+	b.ReportMetric(1e3*phasedStep, "phased-ms/step")
+	b.ReportMetric(1e3*overlapStep, "overlapped-ms/step")
+	b.ReportMetric(eff, "overlap-efficiency")
 }
 
 // BenchmarkFunctionalConvForward measures the im2col+GEMM convolution on a

@@ -4,10 +4,16 @@
 // training workload through the bucketed compressed allreduce and reports
 // wire bytes moved and final loss, for codec trade-off comparisons.
 //
+// With -overlap it runs the reactive-pipeline workload on a latency-injected
+// cluster — phased vs overlapped schedules of the same training job — and
+// reports compute time, comm time and overlap efficiency, optionally as a
+// JSON report (-json).
+//
 //	benchtool -exp table1
 //	benchtool -exp fig5 -nodes 16
 //	benchtool -exp all
 //	benchtool -compress=int8      # vs: benchtool -compress=none
+//	benchtool -overlap -steps 16 -json overlap.json
 package main
 
 import (
@@ -31,10 +37,19 @@ func main() {
 	plot := flag.Bool("plot", false, "render figs 13-16 as ASCII charts instead of tables")
 	compressAlg := flag.String("compress", "", "run the compression workload with this codec (none|int8|topk) instead of the paper experiments")
 	topkRatio := flag.Float64("topk-ratio", 0.1, "kept fraction per bucket for -compress=topk")
-	learners := flag.Int("learners", 4, "learner count for the compression workload")
-	steps := flag.Int("steps", 60, "steps for the compression workload")
+	learners := flag.Int("learners", 4, "learner count for the compression/overlap workloads")
+	steps := flag.Int("steps", 60, "steps for the compression/overlap workloads")
+	overlap := flag.Bool("overlap", false, "run the reactive-pipeline overlap workload (phased vs overlapped schedules)")
+	devices := flag.Int("devices", 2, "devices per learner for the overlap workload")
+	jsonPath := flag.String("json", "", "write the overlap workload report to this JSON file")
 	flag.Parse()
 
+	if *overlap {
+		if err := overlapWorkload(*compressAlg, *topkRatio, *learners, *devices, *steps, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *compressAlg != "" {
 		if err := compressWorkload(*compressAlg, *topkRatio, *learners, *steps); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/allreduce"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+)
+
+// overlapRank is one learner's traffic in the JSON report.
+type overlapRank struct {
+	Rank int `json:"rank"`
+	// AllReduceBytes is the rank's inter-node gradient-exchange wire bytes
+	// (send+recv), as accounted by the DPT engine stats.
+	AllReduceBytes int64 `json:"allreduce_bytes"`
+	BytesSent      int64 `json:"bytes_sent"`
+	BytesRecv      int64 `json:"bytes_recv"`
+}
+
+// overlapRun is one training configuration's measurements.
+type overlapRun struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	StepSeconds float64 `json:"step_seconds"`
+	// Per-step means of the learner-0 phase decomposition. Under the
+	// reactive pipeline AllReduceSeconds is only the exposed tail.
+	DataSeconds      float64       `json:"data_seconds"`
+	ComputeSeconds   float64       `json:"compute_seconds"`
+	IntraNodeSeconds float64       `json:"intranode_seconds"`
+	AllReduceSeconds float64       `json:"allreduce_seconds"`
+	UpdateSeconds    float64       `json:"update_seconds"`
+	PerRank          []overlapRank `json:"per_rank"`
+}
+
+// overlapReport is the JSON schema of the overlap workload.
+type overlapReport struct {
+	Workload          string     `json:"workload"`
+	Codec             string     `json:"codec"`
+	Learners          int        `json:"learners"`
+	DevicesPerNode    int        `json:"devices_per_node"`
+	Steps             int        `json:"steps"`
+	BucketFloats      int        `json:"bucket_floats"`
+	GradFloats        int        `json:"grad_floats"`
+	LinkLatencyMicros float64    `json:"link_latency_micros"`
+	LinkBytesPerSec   float64    `json:"link_bytes_per_sec"`
+	Phased            overlapRun `json:"phased"`
+	Overlapped        overlapRun `json:"overlapped"`
+	// OverlapEfficiency is overlapped step time divided by the phased
+	// compute+comm sum — 1.0 means no overlap, lower is better.
+	OverlapEfficiency float64 `json:"overlap_efficiency"`
+	// CommHiddenFraction is how much of the phased exposed allreduce time
+	// the reactive pipeline hid under backward compute.
+	CommHiddenFraction float64 `json:"comm_hidden_fraction"`
+	Speedup            float64 `json:"speedup"`
+	// BitwiseIdentical confirms the two schedules produced identical final
+	// parameters (the reactive pipeline's correctness guarantee).
+	BitwiseIdentical bool `json:"bitwise_identical"`
+}
+
+// overlapWorkload trains the same comm-heavy configuration twice — phased
+// bucketed allreduce, then the reactive pipeline — over a latency-injected
+// in-process cluster, and reports compute time, comm time, and overlap
+// efficiency (step time vs. the compute+comm sum). The inter-node link
+// charges real wall time per byte through one egress NIC per node, so the
+// only way the overlapped run can be faster is by genuinely hiding
+// communication under backward compute.
+func overlapWorkload(codec string, topkRatio float64, learners, devices, steps int, jsonPath string) error {
+	const classes, size, batchPerDevice = 8, 24, 32
+	const bucketFloats = 1024
+	// Latency-dominated link with per-bucket cost at the scale of the Go
+	// scheduler's async-preemption slice (~10 ms): even on a single-core
+	// runner — where CPU work cannot overlap and sleeping send goroutines
+	// only get handoff slices at preemption boundaries — most of the wire
+	// time still hides under backward compute. On multi-core runners the
+	// overlap is correspondingly larger.
+	link := mpi.LinkProfile{Latency: 8 * time.Millisecond, BytesPerSec: 64 << 20}
+	images := batchPerDevice * devices * learners
+	if codec == "" {
+		codec = "none"
+	}
+	dataX, dataLabels := core.SyntheticTensorData(images, classes, size, 23)
+
+	run := func(overlap bool) (*core.ClusterResult, time.Duration, error) {
+		start := time.Now()
+		res, err := core.RunCluster(core.ClusterConfig{
+			Learners:       learners,
+			DevicesPerNode: devices,
+			NewReplica:     func(seed int64) nn.Layer { return core.OverlapBenchModel(classes, size, 900+seed) },
+			NewSource: func(rank int) core.BatchSource {
+				return &core.SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: learners}
+			},
+			Steps:  steps,
+			InputC: 3, InputH: size, InputW: size,
+			NewWorld: func(n int) *mpi.World { return mpi.NewLatencyWorld(n, link) },
+			Learner: core.Config{
+				BatchPerDevice: batchPerDevice,
+				Allreduce:      allreduce.AlgMultiColor,
+				Schedule:       sgd.Const(0.05),
+				SGD:            sgd.DefaultConfig(),
+				Compression: compress.Config{
+					Codec:         codec,
+					TopKRatio:     topkRatio,
+					ErrorFeedback: codec == "topk",
+					BucketFloats:  bucketFloats,
+				},
+				Overlap:         overlap,
+				OverlapInFlight: 16,
+			},
+		})
+		return res, time.Since(start), err
+	}
+
+	summarize := func(res *core.ClusterResult, wall time.Duration) overlapRun {
+		ph := res.Phases[0]
+		s := float64(steps)
+		r := overlapRun{
+			WallSeconds:      wall.Seconds(),
+			StepSeconds:      wall.Seconds() / s,
+			DataSeconds:      ph.Data / s,
+			ComputeSeconds:   ph.Compute / s,
+			IntraNodeSeconds: ph.IntraNode / s,
+			AllReduceSeconds: ph.AllReduce / s,
+			UpdateSeconds:    ph.Update / s,
+		}
+		for rank, cs := range res.CommStats {
+			r.PerRank = append(r.PerRank, overlapRank{
+				Rank:           rank,
+				AllReduceBytes: cs.BytesSent + cs.BytesRecv,
+				BytesSent:      cs.BytesSent,
+				BytesRecv:      cs.BytesRecv,
+			})
+		}
+		return r
+	}
+
+	phasedRes, phasedWall, err := run(false)
+	if err != nil {
+		return fmt.Errorf("benchtool: phased run: %w", err)
+	}
+	overlapRes, overlapWall, err := run(true)
+	if err != nil {
+		return fmt.Errorf("benchtool: overlapped run: %w", err)
+	}
+
+	identical := true
+	for r := range phasedRes.FinalWeights {
+		for i := range phasedRes.FinalWeights[r] {
+			if phasedRes.FinalWeights[r][i] != overlapRes.FinalWeights[r][i] {
+				identical = false
+			}
+		}
+	}
+
+	rep := overlapReport{
+		Workload:          "overlap",
+		Codec:             codec,
+		Learners:          learners,
+		DevicesPerNode:    devices,
+		Steps:             steps,
+		BucketFloats:      bucketFloats,
+		GradFloats:        len(phasedRes.FinalWeights[0]),
+		LinkLatencyMicros: float64(link.Latency) / float64(time.Microsecond),
+		LinkBytesPerSec:   link.BytesPerSec,
+		Phased:            summarize(phasedRes, phasedWall),
+		Overlapped:        summarize(overlapRes, overlapWall),
+		BitwiseIdentical:  identical,
+	}
+	computeComm := rep.Phased.ComputeSeconds + rep.Phased.AllReduceSeconds
+	if computeComm > 0 {
+		rep.OverlapEfficiency = rep.Overlapped.StepSeconds / computeComm
+	}
+	if rep.Phased.AllReduceSeconds > 0 {
+		rep.CommHiddenFraction = 1 - rep.Overlapped.AllReduceSeconds/rep.Phased.AllReduceSeconds
+	}
+	if rep.Overlapped.StepSeconds > 0 {
+		rep.Speedup = rep.Phased.StepSeconds / rep.Overlapped.StepSeconds
+	}
+
+	fmt.Printf("overlap workload: codec=%s learners=%d devices=%d steps=%d grad=%d floats buckets=%d floats\n",
+		codec, learners, devices, steps, rep.GradFloats, bucketFloats)
+	fmt.Printf("  link: %.0f µs latency, %.0f MB/s per-node egress\n",
+		rep.LinkLatencyMicros, link.BytesPerSec/1e6)
+	fmt.Printf("  phased:     %7.2f ms/step (compute %.2f ms + allreduce %.2f ms + rest)\n",
+		1e3*rep.Phased.StepSeconds, 1e3*rep.Phased.ComputeSeconds, 1e3*rep.Phased.AllReduceSeconds)
+	fmt.Printf("  overlapped: %7.2f ms/step (compute %.2f ms, exposed allreduce %.2f ms)\n",
+		1e3*rep.Overlapped.StepSeconds, 1e3*rep.Overlapped.ComputeSeconds, 1e3*rep.Overlapped.AllReduceSeconds)
+	fmt.Printf("  overlap efficiency: %.3f (step time / compute+comm; <1 = communication hidden)\n", rep.OverlapEfficiency)
+	fmt.Printf("  comm hidden: %.1f%%   speedup: %.2fx   bitwise identical: %v\n",
+		100*rep.CommHiddenFraction, rep.Speedup, rep.BitwiseIdentical)
+	for _, pr := range rep.Phased.PerRank {
+		fmt.Printf("  rank %d AllReduceBytes: %d\n", pr.Rank, pr.AllReduceBytes)
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+	return nil
+}

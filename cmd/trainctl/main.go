@@ -46,6 +46,8 @@ func main() {
 		topkRatio    = flag.Float64("topk-ratio", 0.1, "fraction of elements kept per bucket (with -compress=topk)")
 		bucketFloats = flag.Int("bucket-floats", 16384, "bucketed-allreduce bucket size in float32 elements")
 		errFeedback  = flag.Bool("error-feedback", true, "accumulate compression error into the next step (lossy codecs)")
+		overlap      = flag.Bool("overlap", false, "reactive pipeline: overlap backward compute with the bucketed inter-node allreduce (bitwise identical to the phased bucketed path, i.e. the same -compress config with codec none when unset)")
+		inFlight     = flag.Int("overlap-inflight", 0, "max gradient buckets in flight with -overlap (0 = default 8)")
 	)
 	flag.Parse()
 
@@ -78,6 +80,8 @@ func main() {
 				BucketFloats:  *bucketFloats,
 				ErrorFeedback: *errFeedback,
 			},
+			Overlap:         *overlap,
+			OverlapInFlight: *inFlight,
 		},
 	}
 
@@ -166,12 +170,20 @@ func main() {
 	ph := res.Phases[0]
 	total := ph.Total()
 	if total > 0 {
-		fmt.Printf("learner 0 phase breakdown (Algorithm 1):\n")
+		mode := "Algorithm 1, phased"
+		if *overlap {
+			mode = "reactive pipeline; allreduce = exposed tail only"
+		}
+		fmt.Printf("learner 0 phase breakdown (%s):\n", mode)
 		fmt.Printf("  data %5.1f%%  compute %5.1f%%  intra-node %5.1f%%  allreduce %5.1f%%  update %5.1f%%\n",
 			100*ph.Data/total, 100*ph.Compute/total, 100*ph.IntraNode/total, 100*ph.AllReduce/total, 100*ph.Update/total)
 	}
 	if cs := res.CommStats[0]; cs.BytesSent > 0 || cs.Buckets > 0 {
+		codec := *compressAlg
+		if codec == "" {
+			codec = "none"
+		}
 		fmt.Printf("gradient compression (%s): sent %d bytes over %d buckets (raw %d, ratio %.2fx)\n",
-			*compressAlg, cs.BytesSent, cs.Buckets, cs.RawBytes, cs.Ratio())
+			codec, cs.BytesSent, cs.Buckets, cs.RawBytes, cs.Ratio())
 	}
 }

@@ -1,0 +1,116 @@
+// Command overlap walks through the reactive gradient pipeline: the same
+// training job runs twice on a latency-injected in-process cluster — first
+// with the strictly phased Algorithm 1 step (full backward, then bucketed
+// allreduce, then update), then with -style overlap where gradient buckets
+// launch into the asynchronous inter-node exchange while backward is still
+// computing earlier layers — and prints the step-time breakdown of each.
+//
+// The final weights of the two runs are bitwise identical: overlap is a pure
+// scheduling change. What moves is WHERE the communication time sits — the
+// phased run exposes all of it after backward, the reactive run hides most
+// of it underneath.
+//
+//	go run ./examples/overlap
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/allreduce"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+	"repro/internal/tensor"
+)
+
+const (
+	learners = 2
+	classes  = 8
+	size     = 24
+	batch    = 32
+	steps    = 8
+)
+
+func model(seed int64) nn.Layer {
+	return core.OverlapBenchModel(classes, size, seed)
+}
+
+func run(overlap bool, dataX *tensor.Tensor, labels []int) (*core.ClusterResult, time.Duration) {
+	// A slow inter-node link: 8 ms per message through one egress NIC per
+	// node. Communication costs honest wall time; hiding it requires real
+	// concurrency with backward compute.
+	link := mpi.LinkProfile{Latency: 8 * time.Millisecond, BytesPerSec: 64 << 20}
+	start := time.Now()
+	res, err := core.RunCluster(core.ClusterConfig{
+		Learners:       learners,
+		DevicesPerNode: 1,
+		NewReplica:     func(seed int64) nn.Layer { return model(900 + seed) },
+		NewSource: func(rank int) core.BatchSource {
+			return &core.SliceSource{X: dataX, Labels: labels, Rank: rank, Ranks: learners}
+		},
+		Steps:  steps,
+		InputC: 3, InputH: size, InputW: size,
+		NewWorld: func(n int) *mpi.World { return mpi.NewLatencyWorld(n, link) },
+		Learner: core.Config{
+			BatchPerDevice: batch,
+			Allreduce:      allreduce.AlgMultiColor,
+			Schedule:       sgd.Const(0.05),
+			SGD:            sgd.DefaultConfig(),
+			// Codec "none" = exact identity values over the bucketed
+			// transport; swap in "int8" or "topk" to stack compression on
+			// top of overlap.
+			Compression:     compress.Config{Codec: "none", BucketFloats: 1024},
+			Overlap:         overlap,
+			OverlapInFlight: 16,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, time.Since(start)
+}
+
+func breakdown(name string, res *core.ClusterResult, wall time.Duration) (stepMS, computeMS, commMS float64) {
+	ph := res.Phases[0]
+	stepMS = wall.Seconds() * 1e3 / steps
+	computeMS = ph.Compute * 1e3 / steps
+	commMS = ph.AllReduce * 1e3 / steps
+	fmt.Printf("%-11s %7.1f ms/step   compute %6.1f ms   allreduce %6.1f ms   loss %.4f -> %.4f\n",
+		name, stepMS, computeMS, commMS, res.Losses[0][0], res.Losses[0][steps-1])
+	return
+}
+
+func main() {
+	dataX, labels := core.SyntheticTensorData(batch*learners, classes, size, 23)
+
+	fmt.Printf("reactive gradient pipeline walkthrough: %d learners, %d-float gradient, 8 ms/message link\n\n",
+		learners, nn.ParamCount(model(1).Params()))
+	fmt.Println("phase 1: strictly phased step (backward | allreduce | update)")
+	phased, phasedWall := run(false, dataX, labels)
+	phasedStep, computeMS, commMS := breakdown("  phased", phased, phasedWall)
+
+	fmt.Println("\nphase 2: reactive pipeline (-overlap): buckets exchange DURING backward")
+	overlapped, overlapWall := run(true, dataX, labels)
+	overlapStep, _, exposedMS := breakdown("  overlapped", overlapped, overlapWall)
+
+	identical := true
+	for r := range phased.FinalWeights {
+		for i := range phased.FinalWeights[r] {
+			if phased.FinalWeights[r][i] != overlapped.FinalWeights[r][i] {
+				identical = false
+			}
+		}
+	}
+
+	fmt.Printf("\nresults:\n")
+	fmt.Printf("  final weights bitwise identical across schedules: %v\n", identical)
+	fmt.Printf("  exposed communication: %.1f ms -> %.1f ms (%.0f%% hidden under backward)\n",
+		commMS, exposedMS, 100*(1-exposedMS/commMS))
+	fmt.Printf("  overlap efficiency: %.3f (overlapped step / phased compute+comm; <1 = win)\n",
+		overlapStep/(computeMS+commMS))
+	fmt.Printf("  step-time speedup: %.2fx\n", phasedStep/overlapStep)
+}

@@ -65,11 +65,14 @@ type bucketJob struct {
 }
 
 // BucketedAllReduce sums data across every rank of c through the given
-// compression codec. The vector is split into fixed-size buckets and each
-// bucket flows through a three-stage pipeline — compress, exchange
-// (Isend/Irecv to all peers), decompress+reduce — with the stages running on
-// separate goroutines, so communication of bucket i overlaps compression of
-// bucket i+1 and reduction of bucket i-1.
+// compression codec. It is the phased front of the streaming pipeline: the
+// vector is split into fixed-size buckets, every bucket is submitted to a
+// Stream — compress, exchange (Isend/Irecv to all peers), decompress+reduce,
+// with the stages on separate goroutines so communication of bucket i
+// overlaps compression of bucket i+1 — and the call returns when the last
+// bucket lands. The reactive training path uses the same Stream directly,
+// submitting buckets as backward compute finalizes them, which is why the
+// two paths produce bitwise-identical sums.
 //
 // The reduced value of every element is the sum of the DECODED payloads of
 // all ranks, accumulated in rank order — identical bitwise on every rank —
@@ -82,125 +85,25 @@ func BucketedAllReduce(c *mpi.Comm, data []float32, codec compress.Codec, opts C
 	if bf <= 0 {
 		bf = 16384
 	}
-	var stats CompressedStats
 	if opts.SelfDecoded != nil && len(opts.SelfDecoded) != len(data) {
-		return stats, fmt.Errorf("allreduce: SelfDecoded length %d, data length %d", len(opts.SelfDecoded), len(data))
+		return CompressedStats{}, fmt.Errorf("allreduce: SelfDecoded length %d, data length %d", len(opts.SelfDecoded), len(data))
 	}
 	if len(data) == 0 {
-		return stats, nil
+		return CompressedStats{}, nil
 	}
-	n := c.Size()
-	rank := c.Rank()
 	nb := (len(data) + bf - 1) / bf
-	stats.Buckets = int64(nb)
-
-	if n == 1 {
-		// Single rank: no traffic, but run the codec round trip so training
-		// dynamics (and SelfDecoded) match what a cluster would compute.
-		for b := 0; b < nb; b++ {
-			lo, hi := b*bf, min(b*bf+bf, len(data))
-			if err := codec.Decompress(data[lo:hi], codec.Compress(data[lo:hi])); err != nil {
-				return stats, err
-			}
-		}
-		if opts.SelfDecoded != nil {
-			copy(opts.SelfDecoded, data)
-		}
-		return stats, nil
-	}
-
-	// Stage 1: compress buckets in order, running ahead of communication.
-	compressed := make(chan bucketJob, 2)
+	s := NewStream(c, codec, StreamOptions{SelfDecoded: opts.SelfDecoded, MaxInFlight: 4})
 	go func() {
 		for b := 0; b < nb; b++ {
 			lo, hi := b*bf, min(b*bf+bf, len(data))
-			compressed <- bucketJob{idx: b, lo: lo, hi: hi, payload: codec.Compress(data[lo:hi])}
+			s.Submit(b, lo, hi, data[lo:hi])
 		}
-		close(compressed)
+		s.CloseSend()
 	}()
-
-	// Stage 2: launch the exchange for each bucket as soon as its payload is
-	// ready; request handles flow to the reducer without waiting here.
-	inflight := exchange(compressed, c, rank, n)
-
-	// Stage 3 (this goroutine): decode all ranks' payloads in rank order and
-	// overwrite the bucket with their sum.
-	tmp := make([]float32, bf)
-	acc := make([]float32, bf)
-	var firstErr error
-	for job := range inflight {
-		if firstErr != nil {
-			// An earlier bucket failed: still drain the pipeline's requests
-			// so no goroutine is left blocked, but skip the arithmetic.
-			for _, r := range job.recvReqs {
-				if r != nil {
-					r.Wait()
-				}
-			}
-			mpi.WaitAll(job.sendReqs...)
-			continue
+	for res := range s.Results() {
+		if res.Err == nil {
+			copy(data[res.Lo:res.Hi], res.Sum)
 		}
-		width := job.hi - job.lo
-		sum := acc[:width]
-		for i := range sum {
-			sum[i] = 0
-		}
-		for r := 0; r < n; r++ {
-			var payload []byte
-			if r == rank {
-				payload = job.payload
-			} else {
-				b, err := job.recvReqs[r].Wait()
-				if err != nil {
-					firstErr = err
-					break
-				}
-				stats.BytesRecv += int64(len(b))
-				payload = b
-			}
-			part := tmp[:width]
-			if err := codec.Decompress(part, payload); err != nil {
-				firstErr = fmt.Errorf("allreduce: bucket %d from rank %d: %w", job.idx, r, err)
-				break
-			}
-			if r == rank && opts.SelfDecoded != nil {
-				copy(opts.SelfDecoded[job.lo:job.hi], part)
-			}
-			for i, v := range part {
-				sum[i] += v
-			}
-		}
-		if err := mpi.WaitAll(job.sendReqs...); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if firstErr != nil {
-			continue
-		}
-		copy(data[job.lo:job.hi], sum)
-		stats.BytesSent += int64(len(job.payload)) * int64(n-1)
-		stats.RawBytes += int64(4*width) * int64(n-1)
 	}
-	return stats, firstErr
-}
-
-// exchange consumes compressed buckets, starts their sends and receives,
-// and yields jobs with the request handles attached.
-func exchange(compressed <-chan bucketJob, c *mpi.Comm, rank, n int) <-chan bucketJob {
-	out := make(chan bucketJob, 2)
-	go func() {
-		for job := range compressed {
-			tag := tagCompressed + job.idx%compressedTagSpan
-			job.recvReqs = make([]*mpi.Request, n)
-			for r := 0; r < n; r++ {
-				if r == rank {
-					continue
-				}
-				job.sendReqs = append(job.sendReqs, c.Isend(r, tag, job.payload))
-				job.recvReqs[r] = c.Irecv(r, tag)
-			}
-			out <- job
-		}
-		close(out)
-	}()
-	return out
+	return s.Stats()
 }

@@ -1,0 +1,216 @@
+package allreduce
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/mpi"
+)
+
+// StreamOptions tunes a Stream.
+type StreamOptions struct {
+	// MaxInFlight caps the number of buckets simultaneously in the
+	// compress/exchange/reduce pipeline (default 8). Submissions beyond the
+	// cap block until earlier buckets complete, bounding memory and keeping
+	// the reserved tag band collision-free.
+	MaxInFlight int
+	// SelfDecoded, when non-nil, receives the decode of this rank's own
+	// payloads at [Lo:Hi) of each bucket — the values the wire actually
+	// carried — which error feedback needs to compute its residual. It must
+	// be long enough to index every submitted bucket's range.
+	SelfDecoded []float32
+}
+
+// BucketResult is one completed bucket: the sum of every rank's decoded
+// payload over the flattened-gradient range [Lo, Hi).
+type BucketResult struct {
+	Idx    int
+	Lo, Hi int
+	// Sum is the reduced bucket (length Hi-Lo), accumulated in rank order —
+	// bitwise identical on every rank.
+	Sum []float32
+	// Err reports a failure for this bucket; Sum is nil when set.
+	Err error
+}
+
+// streamSub is one submitted bucket awaiting launch.
+type streamSub struct {
+	idx    int
+	lo, hi int
+	data   []float32
+}
+
+// Stream is the asynchronous front-end over the bucketed compressed
+// exchange: buckets are submitted one at a time — typically as backward
+// compute finalizes their gradients — and each immediately enters the
+// three-stage compress / exchange (Isend/Irecv) / decode+reduce pipeline
+// while the caller keeps computing. Completed buckets surface on Results in
+// launch order.
+//
+// Ordering contract: every rank must submit the same bucket sequence in the
+// same order (the same discipline MPI imposes on collectives, and the reason
+// DDP-style implementations fix their bucket launch order). With a bounded
+// in-flight window, ranks launching in different orders can deadlock: each
+// rank's window waits on buckets its peers have not launched because their
+// windows are full of buckets this rank has not launched. Callers with
+// timing-dependent readiness (the reactive gradient pipeline) must serialize
+// ready buckets into an agreed order before submitting; any agreed order is
+// correct — matching is by bucket tag — and the reduction is bitwise
+// identical to the phased BucketedAllReduce, itself a thin wrapper over
+// Stream.
+//
+// Usage contract: one live Stream per communicator; the consumer must drain
+// Results; Submit must not be called after CloseSend. The data slice passed
+// to Submit is read at compress time and must stay unmodified until the
+// bucket's result arrives.
+type Stream struct {
+	c       *mpi.Comm
+	codec   compress.Codec
+	opts    StreamOptions
+	subs    chan streamSub
+	results chan BucketResult
+	slots   chan struct{}
+	done    chan struct{}
+	stats   CompressedStats
+	err     error
+}
+
+// NewStream starts the pipeline goroutines over c with the given codec.
+func NewStream(c *mpi.Comm, codec compress.Codec, opts StreamOptions) *Stream {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 8
+	}
+	// The tag band cycles mod compressedTagSpan; keeping fewer buckets in
+	// flight than the span means two live buckets can never alias a tag.
+	if opts.MaxInFlight >= compressedTagSpan {
+		opts.MaxInFlight = compressedTagSpan - 1
+	}
+	s := &Stream{
+		c:       c,
+		codec:   codec,
+		opts:    opts,
+		subs:    make(chan streamSub),
+		results: make(chan BucketResult, opts.MaxInFlight),
+		slots:   make(chan struct{}, opts.MaxInFlight),
+		done:    make(chan struct{}),
+	}
+	inflight := make(chan bucketJob, opts.MaxInFlight)
+	go s.launch(inflight)
+	go s.reduce(inflight)
+	return s
+}
+
+// Submit hands the bucket covering flattened range [lo, hi) to the pipeline.
+// idx is the bucket's stable identifier (its tag), which every rank must use
+// for the same range. Blocks while MaxInFlight buckets are already underway.
+func (s *Stream) Submit(idx, lo, hi int, data []float32) {
+	if hi-lo != len(data) {
+		panic(fmt.Sprintf("allreduce: Stream.Submit bucket %d range [%d,%d) but %d floats", idx, lo, hi, len(data)))
+	}
+	s.subs <- streamSub{idx: idx, lo: lo, hi: hi, data: data}
+}
+
+// CloseSend declares that no more buckets will be submitted. Results is
+// closed once every in-flight bucket has completed.
+func (s *Stream) CloseSend() { close(s.subs) }
+
+// Results returns the completed-bucket channel (closed after CloseSend once
+// the pipeline drains). The consumer must drain it.
+func (s *Stream) Results() <-chan BucketResult { return s.results }
+
+// InFlight reports how many buckets currently occupy the pipeline.
+func (s *Stream) InFlight() int { return len(s.slots) }
+
+// Stats returns cumulative traffic counters and the first error. Valid only
+// after Results has been closed (drained).
+func (s *Stream) Stats() (CompressedStats, error) {
+	<-s.done
+	return s.stats, s.err
+}
+
+// launch is stage 1+2: compress each submitted bucket and start its
+// non-blocking exchange with every peer, bounded by the in-flight cap.
+func (s *Stream) launch(inflight chan<- bucketJob) {
+	n := s.c.Size()
+	rank := s.c.Rank()
+	for sub := range s.subs {
+		s.slots <- struct{}{}
+		job := bucketJob{idx: sub.idx, lo: sub.lo, hi: sub.hi, payload: s.codec.Compress(sub.data)}
+		tag := tagCompressed + job.idx%compressedTagSpan
+		job.recvReqs = make([]*mpi.Request, n)
+		for r := 0; r < n; r++ {
+			if r == rank {
+				continue
+			}
+			job.sendReqs = append(job.sendReqs, s.c.Isend(r, tag, job.payload))
+			job.recvReqs[r] = s.c.Irecv(r, tag)
+		}
+		inflight <- job
+	}
+	close(inflight)
+}
+
+// reduce is stage 3: decode every rank's payload in rank order, sum, and
+// emit the result. Runs on its own goroutine; it alone mutates stats.
+func (s *Stream) reduce(inflight <-chan bucketJob) {
+	n := s.c.Size()
+	rank := s.c.Rank()
+	var tmp []float32 // decode scratch, reused across buckets (grown on demand)
+	for job := range inflight {
+		width := job.hi - job.lo
+		sum := make([]float32, width) // handed to the consumer; must be fresh
+		if cap(tmp) < width {
+			tmp = make([]float32, width)
+		}
+		tmp = tmp[:width]
+		var jobErr error
+		for r := 0; r < n; r++ {
+			var payload []byte
+			if r == rank {
+				payload = job.payload
+			} else {
+				b, err := job.recvReqs[r].Wait()
+				if err != nil {
+					if jobErr == nil {
+						jobErr = err
+					}
+					continue
+				}
+				s.stats.BytesRecv += int64(len(b))
+				payload = b
+			}
+			if jobErr != nil {
+				continue
+			}
+			if err := s.codec.Decompress(tmp, payload); err != nil {
+				jobErr = fmt.Errorf("allreduce: bucket %d from rank %d: %w", job.idx, r, err)
+				continue
+			}
+			if r == rank && s.opts.SelfDecoded != nil {
+				copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
+			}
+			for i, v := range tmp {
+				sum[i] += v
+			}
+		}
+		if err := mpi.WaitAll(job.sendReqs...); err != nil && jobErr == nil {
+			jobErr = err
+		}
+		s.stats.Buckets++
+		res := BucketResult{Idx: job.idx, Lo: job.lo, Hi: job.hi}
+		if jobErr != nil {
+			if s.err == nil {
+				s.err = jobErr
+			}
+			res.Err = jobErr
+		} else {
+			s.stats.BytesSent += int64(len(job.payload)) * int64(n-1)
+			s.stats.RawBytes += int64(4*width) * int64(n-1)
+			res.Sum = sum
+		}
+		s.results <- res
+		<-s.slots
+	}
+	close(s.results)
+	close(s.done)
+}

@@ -1,0 +1,240 @@
+package allreduce
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/mpi"
+)
+
+// streamReduce runs a Stream over every rank of an n-rank world, submitting
+// the buckets of each rank's copy of data in the given per-rank order, and
+// returns each rank's reassembled result.
+func streamReduce(t *testing.T, ranks int, data [][]float32, codec compress.Codec, bf int, order func(rank int, buckets []int) []int) ([][]float32, []CompressedStats) {
+	t.Helper()
+	out := make([][]float32, ranks)
+	stats := make([]CompressedStats, ranks)
+	var mu sync.Mutex
+	w := mpi.NewWorld(ranks)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		rank := c.Rank()
+		local := append([]float32(nil), data[rank]...)
+		nb := (len(local) + bf - 1) / bf
+		buckets := make([]int, nb)
+		for b := range buckets {
+			buckets[b] = b
+		}
+		if order != nil {
+			buckets = order(rank, buckets)
+		}
+		s := NewStream(c, codec, StreamOptions{MaxInFlight: 3})
+		go func() {
+			for _, b := range buckets {
+				lo, hi := b*bf, min(b*bf+bf, len(local))
+				s.Submit(b, lo, hi, local[lo:hi])
+			}
+			s.CloseSend()
+		}()
+		res := make([]float32, len(local))
+		for r := range s.Results() {
+			if r.Err != nil {
+				return r.Err
+			}
+			copy(res[r.Lo:r.Hi], r.Sum)
+		}
+		st, err := s.Stats()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out[rank] = res
+		stats[rank] = st
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+func randomRankData(ranks, n int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]float32, ranks)
+	for r := range data {
+		data[r] = make([]float32, n)
+		for i := range data[r] {
+			data[r][i] = float32(rng.NormFloat64())
+		}
+	}
+	return data
+}
+
+// TestStreamMatchesBucketedAllReduce: submitting buckets through the
+// streaming front-end must produce bitwise the same sums and traffic stats
+// as the phased call, for exact and lossy codecs alike.
+func TestStreamMatchesBucketedAllReduce(t *testing.T) {
+	const ranks, n, bf = 3, 1000, 128
+	for _, codec := range []compress.Codec{compress.Identity{}, compress.Int8{}, compress.TopK{Ratio: 0.2}} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			data := randomRankData(ranks, n, 42)
+
+			streamed, streamStats := streamReduce(t, ranks, data, codec, bf, nil)
+
+			phased := make([][]float32, ranks)
+			phasedStats := make([]CompressedStats, ranks)
+			var mu sync.Mutex
+			w := mpi.NewWorld(ranks)
+			defer w.Close()
+			err := w.Run(func(c *mpi.Comm) error {
+				local := append([]float32(nil), data[c.Rank()]...)
+				st, err := BucketedAllReduce(c, local, codec, CompressedOptions{BucketFloats: bf})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				phased[c.Rank()] = local
+				phasedStats[c.Rank()] = st
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < ranks; r++ {
+				for i := range phased[r] {
+					if phased[r][i] != streamed[r][i] {
+						t.Fatalf("rank %d elem %d: phased %v, streamed %v", r, i, phased[r][i], streamed[r][i])
+					}
+				}
+				if streamStats[r] != phasedStats[r] {
+					t.Fatalf("rank %d stats: phased %+v, streamed %+v", r, phasedStats[r], streamStats[r])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamSubmissionOrderIrrelevantToResult: any agreed submission order
+// (here: descending, then a seeded shuffle shared by all ranks — matching
+// the Stream's ordering contract) must produce bitwise the same reduction as
+// ascending order, since matching is by bucket tag, not launch position.
+func TestStreamSubmissionOrderIrrelevantToResult(t *testing.T) {
+	const ranks, n, bf = 4, 640, 64
+	data := randomRankData(ranks, n, 7)
+	inOrder, _ := streamReduce(t, ranks, data, compress.Int8{}, bf, nil)
+	descending, _ := streamReduce(t, ranks, data, compress.Int8{}, bf, func(rank int, buckets []int) []int {
+		for i, j := 0, len(buckets)-1; i < j; i, j = i+1, j-1 {
+			buckets[i], buckets[j] = buckets[j], buckets[i]
+		}
+		return buckets
+	})
+	shuffled, _ := streamReduce(t, ranks, data, compress.Int8{}, bf, func(rank int, buckets []int) []int {
+		rng := rand.New(rand.NewSource(100)) // same seed on every rank: agreed order
+		rng.Shuffle(len(buckets), func(i, j int) { buckets[i], buckets[j] = buckets[j], buckets[i] })
+		return buckets
+	})
+	for r := 0; r < ranks; r++ {
+		for i := range inOrder[r] {
+			if inOrder[r][i] != descending[r][i] {
+				t.Fatalf("rank %d elem %d: ascending %v, descending %v", r, i, inOrder[r][i], descending[r][i])
+			}
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		for i := range inOrder[r] {
+			if inOrder[r][i] != shuffled[r][i] {
+				t.Fatalf("rank %d elem %d: in-order %v, shuffled %v", r, i, inOrder[r][i], shuffled[r][i])
+			}
+		}
+	}
+	// And all ranks hold the same reduction.
+	for r := 1; r < ranks; r++ {
+		for i := range shuffled[0] {
+			if shuffled[r][i] != shuffled[0][i] {
+				t.Fatalf("rank %d diverged from rank 0 at elem %d", r, i)
+			}
+		}
+	}
+}
+
+// TestStreamSelfDecoded: the SelfDecoded sink must receive the decode of
+// this rank's own transmitted payloads, bucket by bucket.
+func TestStreamSelfDecoded(t *testing.T) {
+	const ranks, n, bf = 2, 300, 64
+	data := randomRankData(ranks, n, 13)
+	codec := compress.Int8{}
+	w := mpi.NewWorld(ranks)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		rank := c.Rank()
+		local := append([]float32(nil), data[rank]...)
+		self := make([]float32, n)
+		s := NewStream(c, codec, StreamOptions{SelfDecoded: self})
+		go func() {
+			for b := 0; b*bf < n; b++ {
+				lo, hi := b*bf, min(b*bf+bf, n)
+				s.Submit(b, lo, hi, local[lo:hi])
+			}
+			s.CloseSend()
+		}()
+		for r := range s.Results() {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		// Expected: decode(compress(bucket)) of the original values.
+		for b := 0; b*bf < n; b++ {
+			lo, hi := b*bf, min(b*bf+bf, n)
+			want := make([]float32, hi-lo)
+			if err := codec.Decompress(want, codec.Compress(data[rank][lo:hi])); err != nil {
+				return err
+			}
+			for i, v := range want {
+				if self[lo+i] != v {
+					t.Errorf("rank %d self-decoded[%d] = %v, want %v", rank, lo+i, self[lo+i], v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamInFlightBounded: the pipeline must never hold more than
+// MaxInFlight buckets at once even when many are submitted back-to-back.
+func TestStreamInFlightBounded(t *testing.T) {
+	const ranks, n, bf, cap = 2, 2048, 64, 2
+	data := randomRankData(ranks, n, 3)
+	w := mpi.NewWorld(ranks)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		local := append([]float32(nil), data[c.Rank()]...)
+		s := NewStream(c, compress.Identity{}, StreamOptions{MaxInFlight: cap})
+		go func() {
+			for b := 0; b*bf < n; b++ {
+				lo, hi := b*bf, min(b*bf+bf, n)
+				s.Submit(b, lo, hi, local[lo:hi])
+			}
+			s.CloseSend()
+		}()
+		for r := range s.Results() {
+			if r.Err != nil {
+				return r.Err
+			}
+			if got := s.InFlight(); got > cap {
+				t.Errorf("in-flight %d exceeds cap %d", got, cap)
+			}
+		}
+		_, err := s.Stats()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -86,17 +86,27 @@ func NewFeedback(n int) *Feedback {
 }
 
 // Correct adds the accumulated residual into g in place.
-func (f *Feedback) Correct(g []float32) {
-	for i, r := range f.residual {
+func (f *Feedback) Correct(g []float32) { f.CorrectAt(0, g) }
+
+// CorrectAt adds residual[off : off+len(g)) into g in place — the
+// per-bucket form the reactive pipeline applies as each bucket is packed.
+// Element-wise it is exactly Correct restricted to a sub-range, so bucketed
+// and full-vector correction are bitwise identical.
+func (f *Feedback) CorrectAt(off int, g []float32) {
+	for i, r := range f.residual[off : off+len(g)] {
 		g[i] += r
 	}
 }
 
 // Update records the new residual given the corrected gradient and the
 // values the codec actually transmitted.
-func (f *Feedback) Update(corrected, sent []float32) {
-	for i := range f.residual {
-		f.residual[i] = corrected[i] - sent[i]
+func (f *Feedback) Update(corrected, sent []float32) { f.UpdateAt(0, corrected, sent) }
+
+// UpdateAt records the residual for the sub-range starting at off.
+func (f *Feedback) UpdateAt(off int, corrected, sent []float32) {
+	res := f.residual[off : off+len(corrected)]
+	for i := range res {
+		res[i] = corrected[i] - sent[i]
 	}
 }
 

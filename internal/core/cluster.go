@@ -34,6 +34,10 @@ type ClusterConfig struct {
 	Steps                  int
 	InputC, InputH, InputW int
 	Learner                Config
+	// NewWorld, when non-nil, builds the in-process MPI world (e.g.
+	// mpi.NewLatencyWorld for comm-heavy overlap experiments). Defaults to
+	// mpi.NewWorld.
+	NewWorld func(ranks int) *mpi.World
 	// Eval, when non-nil, is called on learner 0 every EvalEvery steps with
 	// the current learner; use it to record accuracy curves.
 	Eval      func(step int, l *Learner)
@@ -61,7 +65,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if cfg.Learners <= 0 || cfg.DevicesPerNode <= 0 {
 		return nil, fmt.Errorf("core: invalid cluster %d×%d", cfg.Learners, cfg.DevicesPerNode)
 	}
-	world := mpi.NewWorld(cfg.Learners)
+	newWorld := cfg.NewWorld
+	if newWorld == nil {
+		newWorld = mpi.NewWorld
+	}
+	world := newWorld(cfg.Learners)
 	defer world.Close()
 	res := &ClusterResult{
 		Losses:       make([][]float64, cfg.Learners),
@@ -146,6 +154,28 @@ func SmallBNFreeCNN(classes, size int, seed int64) nn.Layer {
 		nn.NewMaxPool2D("p1", 2, 2, 2, 2, 0, 0),
 		nn.NewFlatten("fl"),
 		nn.NewLinear("fc", 6*final*final, classes, rng),
+	)
+}
+
+// OverlapBenchModel builds the BN-free two-conv CNN shared by the overlap
+// drivers (benchtool's overlap workload, the root overlap benchmark, and
+// examples/overlap): enough conv compute that backward takes real time per
+// layer — giving the reactive pipeline something to hide communication
+// under — while the fc layer holds most of the parameters, so the bulk of
+// the gradient becomes ready at the very start of backward. One definition
+// keeps the three drivers' reported numbers comparable.
+func OverlapBenchModel(classes, size int, seed int64) nn.Layer {
+	rng := tensor.NewRNG(seed)
+	final := size / 4
+	return nn.NewSequential("overlapcnn",
+		nn.NewConv2D("c1", 3, 8, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2D("p1", 2, 2, 2, 2, 0, 0),
+		nn.NewConv2D("c2", 8, 16, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng),
+		nn.NewReLU("r2"),
+		nn.NewMaxPool2D("p2", 2, 2, 2, 2, 0, 0),
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc", 16*final*final, classes, rng),
 	)
 }
 

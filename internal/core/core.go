@@ -10,6 +10,12 @@
 // gradients, gradients are summed intra-node, summed across learners with
 // the configured MPI allreduce, broadcast back to the devices, and every
 // device applies the SGD update — leaving all replicas bitwise identical.
+//
+// With Config.Overlap the same iteration runs as a reactive per-bucket
+// pipeline (reactive.go): gradient buckets are reduced, compressed and
+// exchanged while backward is still computing earlier layers, and updates
+// apply per bucket as results land — same arithmetic, same bits, less
+// exposed communication time.
 package core
 
 import (
@@ -129,16 +135,35 @@ type Config struct {
 	// the same bucketed path (for byte-accounting comparisons); "int8" and
 	// "topk" are lossy and usually pair with ErrorFeedback.
 	Compression compress.Config
+	// Overlap switches the step to the reactive gradient pipeline: buckets
+	// of the flattened gradient are intra-node reduced, compressed, and
+	// launched into the asynchronous inter-node exchange as backward compute
+	// finalizes them, and the SGD update applies per bucket as results land.
+	// The final parameters are bitwise identical to the phased bucketed path
+	// with the same Compression config (an empty Codec behaves like "none":
+	// the exact identity codec over the bucketed transport). Bucket size
+	// comes from Compression.BucketFloats (default 16384 floats).
+	Overlap bool
+	// OverlapInFlight caps how many buckets the reactive pipeline keeps in
+	// flight at once (default 8).
+	OverlapInFlight int
 }
 
 // PhaseTimes accumulates wall time per Algorithm 1 phase — the step
 // decomposition the paper's evaluation reasons about (data loading vs
 // compute vs communication). All fields are cumulative seconds.
+//
+// Under the reactive pipeline (Config.Overlap) the phases are no longer
+// disjoint wall-clock intervals: Compute covers the backward pass with the
+// bucket pipeline running underneath it, IntraNode and Update are folded
+// into the pipeline, and AllReduce records only the EXPOSED communication —
+// the tail the step still waits on after backward finishes. A shrinking
+// AllReduce share against the phased baseline is the overlap win.
 type PhaseTimes struct {
 	Data      float64 // batch sampling/decoding (DIMD or file I/O)
 	Compute   float64 // per-device forward/backward via the DPT engine
 	IntraNode float64 // intra-node gradient summation
-	AllReduce float64 // inter-node MPI allreduce
+	AllReduce float64 // inter-node MPI allreduce (exposed tail when overlapped)
 	Update    float64 // gradient broadcast to devices + SGD step
 }
 
@@ -161,12 +186,17 @@ type Learner struct {
 	scale   float32
 	phases  PhaseTimes
 
-	// Compressed-allreduce state (nil/empty when Compression is off).
+	// Compressed-allreduce state (nil/empty when Compression is off and
+	// Overlap is off — the reactive pipeline always runs a codec, defaulting
+	// to identity).
 	codec       compress.Codec
 	feedback    *compress.Feedback
 	corrected   []float32 // gradient after residual correction, pre-exchange
 	selfDecoded []float32 // decode of this rank's own transmitted payloads
 	commStats   allreduce.CompressedStats
+
+	// Reactive-pipeline state (nil when Overlap is off); see reactive.go.
+	pipeline *bucketPlan
 }
 
 // NewLearner constructs a learner over comm from per-device model replicas.
@@ -195,19 +225,24 @@ func NewLearner(comm *mpi.Comm, replicas []nn.Layer, source BatchSource, inputC,
 		cfg:     cfg,
 		gradBuf: make([]float32, engine.GradSize()),
 	}
-	if cfg.Compression.Enabled() {
+	if cfg.Compression.Enabled() || cfg.Overlap {
 		codec, err := compress.New(cfg.Compression)
 		if err != nil {
 			engine.Close()
 			return nil, err
 		}
 		l.codec = codec
-		engine.SetCompression(cfg.Compression)
+		if cfg.Compression.Enabled() {
+			engine.SetCompression(cfg.Compression)
+		}
 		if cfg.Compression.ErrorFeedback {
 			l.feedback = compress.NewFeedback(engine.GradSize())
 			l.corrected = make([]float32, engine.GradSize())
 			l.selfDecoded = make([]float32, engine.GradSize())
 		}
+	}
+	if cfg.Overlap {
+		l.pipeline = newBucketPlan(engine, cfg.Compression.BucketFloats)
 	}
 	m := engine.NumDevices()
 	bNode := cfg.BatchPerDevice * m
@@ -257,7 +292,9 @@ func (l *Learner) broadcastInitialWeights() error {
 }
 
 // Step runs one iteration of Algorithm 1 and returns this learner's local
-// mean loss. Per-phase wall times accumulate in Phases.
+// mean loss. Per-phase wall times accumulate in Phases. With Config.Overlap
+// the phased body below is replaced by the reactive pipeline (reactive.go),
+// which produces bitwise-identical parameters.
 func (l *Learner) Step() (float64, error) {
 	// 1. Sample Bnode images locally (random from the in-memory store).
 	t0 := time.Now()
@@ -266,6 +303,9 @@ func (l *Learner) Step() (float64, error) {
 	}
 	t1 := time.Now()
 	l.phases.Data += t1.Sub(t0).Seconds()
+	if l.pipeline != nil {
+		return l.stepOverlapped(t1)
+	}
 	// 2-3. Per-device forward/backward; intra-node summation.
 	loss, err := l.engine.Step(l.x, l.labels)
 	if err != nil {

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/allreduce"
+	"repro/internal/dpt"
+)
+
+// This file implements the reactive gradient pipeline behind Config.Overlap:
+// the strictly phased Algorithm 1 step (full backward → gradient exchange →
+// update) is replaced by a per-bucket dataflow that hides inter-node
+// communication under backward compute.
+//
+//	backward (per device, back-to-front)
+//	   └─ readiness hook per (device, param)
+//	        └─ tracker: bucket's contributions complete?
+//	             └─ packer: intra-node reduce bucket, error-feedback
+//	                correct, submit to allreduce.Stream  (launch order:
+//	                descending bucket index, agreed across ranks)
+//	                  └─ stream: compress → Isend/Irecv → decode+sum
+//	                       └─ collector: feedback update, scale, scatter
+//	                          to devices, per-param SGD as params complete
+//
+// Every stage performs element-for-element the same arithmetic as the
+// phased path, in the same order (devices in id order, ranks in rank
+// order), so the final parameters are bitwise identical — a test asserts it
+// across codecs.
+
+// bucketPlan is the static bucket layout of one learner's flattened
+// gradient: fixed-size buckets plus the param↔bucket incidence used to turn
+// per-param readiness into per-bucket readiness and per-bucket completion
+// into per-param updates.
+type bucketPlan struct {
+	bucketFloats int
+	lo, hi       []int   // bucket b covers [lo[b], hi[b])
+	paramsOf     [][]int // bucket -> overlapping param indices
+	bucketsOf    [][]int // param -> overlapping bucket indices
+}
+
+func newBucketPlan(engine *dpt.Engine, bucketFloats int) *bucketPlan {
+	if bucketFloats <= 0 {
+		bucketFloats = 16384
+	}
+	total := engine.GradSize()
+	nb := (total + bucketFloats - 1) / bucketFloats
+	p := &bucketPlan{
+		bucketFloats: bucketFloats,
+		lo:           make([]int, nb),
+		hi:           make([]int, nb),
+		paramsOf:     make([][]int, nb),
+		bucketsOf:    make([][]int, engine.NumParams()),
+	}
+	for b := 0; b < nb; b++ {
+		p.lo[b] = b * bucketFloats
+		p.hi[b] = min(p.lo[b]+bucketFloats, total)
+	}
+	for i := 0; i < engine.NumParams(); i++ {
+		pLo, pHi := engine.ParamRange(i)
+		for b := pLo / bucketFloats; b*bucketFloats < pHi; b++ {
+			p.paramsOf[b] = append(p.paramsOf[b], i)
+			p.bucketsOf[i] = append(p.bucketsOf[i], b)
+		}
+	}
+	return p
+}
+
+// numBuckets returns the bucket count.
+func (p *bucketPlan) numBuckets() int { return len(p.lo) }
+
+// stepOverlapped runs one reactive iteration. t1 is the batch-sampling end
+// time (Data is already accounted).
+func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
+	plan := l.pipeline
+	nb := plan.numBuckets()
+	devices := l.engine.NumDevices()
+	lr := l.currentLR()
+
+	stream := allreduce.NewStream(l.comm, l.codec, allreduce.StreamOptions{
+		MaxInFlight: l.cfg.OverlapInFlight,
+		SelfDecoded: l.selfDecoded,
+	})
+
+	// Tracker: count down each bucket's (param × device) contributions as
+	// readiness hooks arrive from the device goroutines.
+	pending := make([]int, nb)
+	for b := range pending {
+		pending[b] = len(plan.paramsOf[b]) * devices
+	}
+	ready := make(chan int, nb)
+	var trackMu sync.Mutex
+	hook := func(dev, param int) {
+		fired := false
+		trackMu.Lock()
+		for _, b := range plan.bucketsOf[param] {
+			pending[b]--
+			if pending[b] == 0 {
+				ready <- b
+				fired = true
+			}
+		}
+		trackMu.Unlock()
+		if fired {
+			// Hand the processor to the packer so the bucket's non-blocking
+			// exchange launches NOW, not when backward happens to preempt.
+			// On a single-core runner this is what lets wire time start
+			// ticking under the remaining backward compute; the yield itself
+			// costs microseconds against millisecond-scale layers.
+			runtime.Gosched()
+		}
+	}
+
+	// Packer: serialize ready buckets into the launch order agreed across
+	// ranks — descending bucket index, i.e. backward order — then intra-node
+	// reduce, error-feedback correct, and submit. (The Stream's ordering
+	// contract forbids launching in raw readiness order: with a bounded
+	// in-flight window, ranks launching different orders can deadlock.)
+	packErr := make(chan error, 1)
+	go func() {
+		defer stream.CloseSend()
+		isReady := make([]bool, nb)
+		next := nb - 1
+		for submitted := 0; submitted < nb; {
+			b, ok := <-ready
+			if !ok {
+				packErr <- nil // aborted by the learner; nothing left to do
+				return
+			}
+			isReady[b] = true
+			for next >= 0 && isReady[next] {
+				lo, hi := plan.lo[next], plan.hi[next]
+				seg := l.gradBuf[lo:hi]
+				if err := l.engine.ReduceRangeInto(seg, lo, hi); err != nil {
+					packErr <- err
+					return
+				}
+				if l.feedback != nil {
+					l.feedback.CorrectAt(lo, seg)
+					copy(l.corrected[lo:hi], seg)
+				}
+				stream.Submit(next, lo, hi, seg)
+				submitted++
+				next--
+			}
+		}
+		packErr <- nil
+	}()
+
+	// Collector: as reduced buckets land, close the error-feedback loop,
+	// scale, scatter to the devices, and fire the SGD update for every
+	// parameter whose buckets have all arrived.
+	remaining := make([]int, len(plan.bucketsOf))
+	for i := range remaining {
+		remaining[i] = len(plan.bucketsOf[i])
+	}
+	collErr := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for res := range stream.Results() {
+			if firstErr != nil {
+				continue // drain
+			}
+			if res.Err != nil {
+				firstErr = res.Err
+				continue
+			}
+			if l.feedback != nil {
+				l.feedback.UpdateAt(res.Lo, l.corrected[res.Lo:res.Hi], l.selfDecoded[res.Lo:res.Hi])
+			}
+			if l.scale != 1 {
+				for i := range res.Sum {
+					res.Sum[i] *= l.scale
+				}
+			}
+			if err := l.engine.ScatterRange(res.Lo, res.Hi, res.Sum); err != nil {
+				firstErr = err
+				continue
+			}
+			copy(l.gradBuf[res.Lo:res.Hi], res.Sum)
+			for _, p := range plan.paramsOf[res.Idx] {
+				remaining[p]--
+				if remaining[p] == 0 {
+					for _, o := range l.opts {
+						o.StepParam(p, lr)
+					}
+				}
+			}
+		}
+		collErr <- firstErr
+	}()
+
+	// 2. Per-device forward/backward with incremental gradient emission; the
+	// pipeline above is already reducing and exchanging buckets while this
+	// call is still computing earlier layers.
+	loss, stepErr := l.engine.StepWithGradHook(l.x, l.labels, hook)
+	t2 := time.Now()
+	l.phases.Compute += t2.Sub(t1).Seconds()
+	if stepErr != nil {
+		// Hooks have quiesced (StepWithGradHook joins the devices before
+		// erroring; validation errors fire no hooks at all). Closing ready
+		// lets the packer drain whatever readiness arrived and shut the
+		// stream down so the collector terminates.
+		close(ready)
+	}
+
+	perr := <-packErr
+	cerr := <-collErr
+	st, serr := stream.Stats()
+	if serr != nil && cerr == nil {
+		cerr = serr
+	}
+	l.commStats.Add(st)
+	l.engine.AddAllReduceBytes(st.BytesSent + st.BytesRecv)
+	// Everything after backward returned is exposed (non-overlapped) comm +
+	// update tail.
+	l.phases.AllReduce += time.Since(t2).Seconds()
+	if stepErr != nil {
+		return 0, stepErr
+	}
+	if perr != nil {
+		return 0, perr
+	}
+	if cerr != nil {
+		return 0, cerr
+	}
+	l.step++
+	return loss, nil
+}

@@ -88,6 +88,14 @@ type Engine struct {
 	stats       Stats
 	compression compress.Config
 	closed      bool
+
+	// offsets[i] is parameter i's start in the flattened gradient; the
+	// reactive pipeline uses it to map parameters onto fixed-size buckets
+	// and to reduce/scatter sub-ranges without a full-vector flatten.
+	offsets []int
+	// paramIdx maps any device's Param pointer back to its index (all
+	// replicas share the same parameter order).
+	paramIdx []map[*nn.Param]int
 }
 
 // New builds an engine over the given model replicas (one per device, same
@@ -99,6 +107,12 @@ func New(replicas []nn.Layer, optimized bool) (*Engine, error) {
 	}
 	ref := replicas[0].Params()
 	e := &Engine{optimized: optimized, gradSize: nn.ParamCount(ref)}
+	e.offsets = make([]int, len(ref))
+	off := 0
+	for i, p := range ref {
+		e.offsets[i] = off
+		off += p.Value.Len()
+	}
 	for i, m := range replicas {
 		if i > 0 {
 			if err := nn.CopyValues(m.Params(), ref); err != nil {
@@ -112,6 +126,14 @@ func New(replicas []nn.Layer, optimized bool) (*Engine, error) {
 			params: m.Params(),
 			jobs:   make(chan func(), 4),
 		}
+		if len(d.params) != len(ref) {
+			return nil, fmt.Errorf("dpt: replica %d has %d params, replica 0 has %d", i, len(d.params), len(ref))
+		}
+		idx := make(map[*nn.Param]int, len(d.params))
+		for j, p := range d.params {
+			idx[p] = j
+		}
+		e.paramIdx = append(e.paramIdx, idx)
 		go d.run()
 		e.devices = append(e.devices, d)
 	}

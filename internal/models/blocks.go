@@ -66,15 +66,22 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements nn.Layer.
 func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return r.BackwardWithGradHook(gradOut, nil)
+}
+
+// BackwardWithGradHook implements nn.GradNotifier, propagating readiness
+// notification into both the main path and the shortcut projection — the
+// branch parameters a child-granularity hook would miss.
+func (r *Residual) BackwardWithGradHook(gradOut *tensor.Tensor, hook nn.ParamHook) *tensor.Tensor {
 	g := tensor.New(gradOut.Shape()...)
 	for i, v := range gradOut.Data {
 		if r.mask[i] {
 			g.Data[i] = v
 		}
 	}
-	gradIn := r.Body.Backward(g)
+	gradIn := nn.BackwardNotify(r.Body, g, hook)
 	if r.Shortcut != nil {
-		gradIn.Add(r.Shortcut.Backward(g))
+		gradIn.Add(nn.BackwardNotify(r.Shortcut, g, hook))
 	} else {
 		gradIn.Add(g)
 	}
@@ -142,6 +149,13 @@ func (b *Branches) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements nn.Layer.
 func (b *Branches) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return b.BackwardWithGradHook(gradOut, nil)
+}
+
+// BackwardWithGradHook implements nn.GradNotifier: each path's slice of the
+// concatenated gradient is split off and run backward with the hook, so
+// every inception-branch parameter is reported as soon as its path finishes.
+func (b *Branches) BackwardWithGradHook(gradOut *tensor.Tensor, hook nn.ParamHook) *tensor.Tensor {
 	n, h, w := gradOut.Dim(0), gradOut.Dim(2), gradOut.Dim(3)
 	totalC := gradOut.Dim(1)
 	hw := h * w
@@ -155,7 +169,7 @@ func (b *Branches) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			dst := gb.Data[img*c*hw : (img+1)*c*hw]
 			copy(dst, src)
 		}
-		gradIn.Add(p.Backward(gb))
+		gradIn.Add(nn.BackwardNotify(p, gb, hook))
 		cOff += c
 	}
 	return gradIn

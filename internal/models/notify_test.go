@@ -1,0 +1,100 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestGradNotifyReachesBranchParams is the regression test for hook
+// propagation through non-Sequential containers: a hooked backward over
+// models with residual shortcuts (TinyResNet) and inception branches
+// (TinyInception) must notify every nn.Param exactly once, with the gradient
+// already final at notification time. The old child-granularity
+// Sequential-only hook never descended into these blocks.
+func TestGradNotifyReachesBranchParams(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(rng *tensor.RNG) nn.Layer
+		size  int
+	}{
+		{"tinyresnet", func(rng *tensor.RNG) nn.Layer { return NewTinyResNet(3, 1, rng) }, 8},
+		{"tinyinception", func(rng *tensor.RNG) nn.Layer { return NewTinyInception(3, rng) }, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := tensor.NewRNG(11)
+			model := tc.build(rng)
+			x := tensor.New(2, 3, tc.size, tc.size)
+			rng.FillNormal(x, 0, 1)
+			out := model.Forward(x, true)
+			gradOut := tensor.New(out.Shape()...)
+			rng.FillNormal(gradOut, 0, 1)
+
+			nn.ZeroGrads(model.Params())
+			seen := make(map[*nn.Param]int)
+			snapshots := make(map[*nn.Param][]float32)
+			nn.BackwardNotify(model, gradOut, func(p *nn.Param) {
+				seen[p]++
+				snapshots[p] = append([]float32(nil), p.Grad.Data...)
+			})
+
+			params := model.Params()
+			if len(params) == 0 {
+				t.Fatal("model has no params")
+			}
+			for _, p := range params {
+				if seen[p] != 1 {
+					t.Errorf("param %s notified %d times, want exactly 1", p.Name, seen[p])
+				}
+			}
+			if len(seen) != len(params) {
+				t.Fatalf("notified %d distinct params, model has %d", len(seen), len(params))
+			}
+			// Finality: the gradient at notification time must equal the
+			// gradient after the whole backward pass.
+			for p, snap := range snapshots {
+				for i, v := range p.Grad.Data {
+					if snap[i] != v {
+						t.Fatalf("param %s grad[%d] changed after notification: %v -> %v",
+							p.Name, i, snap[i], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGradNotifyMatchesPlainBackward: the hooked backward must perform
+// identical arithmetic to the plain one — same input gradient, bitwise-equal
+// parameter gradients — since the reactive pipeline's equivalence guarantee
+// rests on it.
+func TestGradNotifyMatchesPlainBackward(t *testing.T) {
+	build := func() (nn.Layer, *tensor.Tensor, *tensor.Tensor) {
+		rng := tensor.NewRNG(29)
+		m := NewTinyResNet(2, 1, rng)
+		x := tensor.New(2, 3, 8, 8)
+		rng.FillNormal(x, 0, 1)
+		out := m.Forward(x, true)
+		g := tensor.New(out.Shape()...)
+		rng.FillNormal(g, 0, 1)
+		return m, g, x
+	}
+	m1, g1, _ := build()
+	m2, g2, _ := build()
+	nn.ZeroGrads(m1.Params())
+	nn.ZeroGrads(m2.Params())
+	in1 := m1.Backward(g1)
+	in2 := nn.BackwardNotify(m2, g2, func(p *nn.Param) {})
+	if !in1.ApproxEqual(in2, 0) {
+		t.Fatal("input gradients differ between plain and hooked backward")
+	}
+	p1, p2 := m1.Params(), m2.Params()
+	for i := range p1 {
+		for j := range p1[i].Grad.Data {
+			if p1[i].Grad.Data[j] != p2[i].Grad.Data[j] {
+				t.Fatalf("param %s grad[%d] differs", p1[i].Name, j)
+			}
+		}
+	}
+}

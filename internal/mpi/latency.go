@@ -1,0 +1,58 @@
+package mpi
+
+import (
+	"sync"
+	"time"
+)
+
+// LinkProfile models a network link for the in-process transport: each
+// message pays Latency plus len/BytesPerSec of wall time before delivery.
+// The zero value means instantaneous (plain shared-memory behaviour).
+type LinkProfile struct {
+	// Latency is the per-message fixed cost.
+	Latency time.Duration
+	// BytesPerSec is the serialization bandwidth; 0 disables the size term.
+	BytesPerSec float64
+}
+
+// Delay returns the wall time a message of n bytes occupies the link.
+func (p LinkProfile) Delay(n int) time.Duration {
+	d := p.Latency
+	if p.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / p.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// NewLatencyWorld creates an in-process world whose sends pay the link
+// profile's delay before the message is enqueued at the destination. Each
+// rank's outbound messages serialize through one egress link (one NIC per
+// node), so total communication time scales with the bytes a rank emits —
+// compression shortens it, and only genuinely concurrent compute can hide
+// it. Blocking Send occupies the caller for the delay, exactly like a real
+// wire; non-blocking Isend pays it on the request's goroutine. Experiments
+// that need a comm-heavy configuration (the overlap benchmark) use this to
+// make inter-node traffic cost honest wall time instead of a free memcpy.
+func NewLatencyWorld(n int, link LinkProfile) *World {
+	w := NewWorld(n)
+	w.link = link
+	return w
+}
+
+// latencyTransport wraps another transport, charging every send the link
+// delay under a per-rank egress lock.
+type latencyTransport struct {
+	Transport
+	link LinkProfile
+	mu   sync.Mutex // serializes this rank's egress
+}
+
+// Send implements Transport.
+func (t *latencyTransport) Send(dst int, ctx uint64, tag int, data []byte) error {
+	if d := t.link.Delay(len(data)); d > 0 {
+		t.mu.Lock()
+		time.Sleep(d)
+		t.mu.Unlock()
+	}
+	return t.Transport.Send(dst, ctx, tag, data)
+}

@@ -62,6 +62,9 @@ func (m *mailbox) close() {
 // one-MPI-process-per-Minsky-node deployment.
 type World struct {
 	boxes []*mailbox
+	// link, when non-zero, charges every send the LinkProfile's delay
+	// (see NewLatencyWorld).
+	link LinkProfile
 }
 
 // NewWorld creates an in-process world with n ranks.
@@ -80,7 +83,11 @@ func (w *World) Comm(rank int) (*Comm, error) {
 	for i := range group {
 		group[i] = i
 	}
-	return newComm(&memTransport{world: w, rank: rank}, rank, group, 1)
+	var tr Transport = &memTransport{world: w, rank: rank}
+	if w.link != (LinkProfile{}) {
+		tr = &latencyTransport{Transport: tr, link: w.link}
+	}
+	return newComm(tr, rank, group, 1)
 }
 
 // MustComm is Comm but panics on error; for tests and examples.

@@ -72,18 +72,16 @@ func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	return gradOut
 }
 
-// BackwardWithHook runs the backward pass invoking hook after each child
-// layer's parameter gradients are final (children are visited in backward
-// order: last layer first). It enables pipelining gradient communication
+// BackwardWithGradHook implements GradNotifier: children are visited in
+// backward order (last layer first), recursing through nested containers via
+// BackwardNotify, so hook fires for every parameter in the subtree as soon
+// as its gradient is final. It enables pipelining gradient communication
 // with the remaining backward compute, the optimization Goyal et al. use
 // and the paper's related-work section describes ("pipelined the
 // computation and communication of gradient of different layers").
-func (s *Sequential) BackwardWithHook(gradOut *tensor.Tensor, hook func(l Layer)) *tensor.Tensor {
+func (s *Sequential) BackwardWithGradHook(gradOut *tensor.Tensor, hook ParamHook) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		gradOut = s.Layers[i].Backward(gradOut)
-		if hook != nil {
-			hook(s.Layers[i])
-		}
+		gradOut = BackwardNotify(s.Layers[i], gradOut, hook)
 	}
 	return gradOut
 }

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestBackwardNotifyReachesNestedParams: notification must recurse through
+// nested Sequential containers and fire exactly once per parameter, in
+// backward order (later layers first), with the gradient already final.
+func TestBackwardNotifyReachesNestedParams(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	inner := NewSequential("inner",
+		NewConv2D("c2", 4, 4, 3, 3, 1, 1, 1, 1, ConvOpts{Bias: true}, rng),
+		NewReLU("r2"),
+	)
+	model := NewSequential("outer",
+		NewConv2D("c1", 3, 4, 3, 3, 1, 1, 1, 1, ConvOpts{Bias: true}, rng),
+		NewReLU("r1"),
+		inner,
+		NewFlatten("fl"),
+		NewLinear("fc", 4*6*6, 2, rng),
+	)
+	x := tensor.New(2, 3, 6, 6)
+	rng.FillNormal(x, 0, 1)
+	out := model.Forward(x, true)
+	gradOut := tensor.New(out.Shape()...)
+	rng.FillNormal(gradOut, 0, 1)
+
+	ZeroGrads(model.Params())
+	var notified []*Param
+	snapshots := make(map[*Param][]float32)
+	BackwardNotify(model, gradOut, func(p *Param) {
+		notified = append(notified, p)
+		snapshots[p] = append([]float32(nil), p.Grad.Data...)
+	})
+
+	params := model.Params()
+	if len(notified) != len(params) {
+		t.Fatalf("notified %d params, model has %d", len(notified), len(params))
+	}
+	seen := make(map[*Param]int)
+	for _, p := range notified {
+		seen[p]++
+	}
+	for _, p := range params {
+		if seen[p] != 1 {
+			t.Fatalf("param %s notified %d times, want 1", p.Name, seen[p])
+		}
+	}
+	// Backward order: the linear layer's params come before conv c1's.
+	if notified[0].Name != "fc.weight" && notified[0].Name != "fc.bias" {
+		t.Fatalf("first notified param %s, want the final linear layer's", notified[0].Name)
+	}
+	last := notified[len(notified)-1]
+	if last.Name != "c1.weight" && last.Name != "c1.bias" {
+		t.Fatalf("last notified param %s, want the first conv's", last.Name)
+	}
+	// Gradients were final at notification time.
+	for p, snap := range snapshots {
+		for i, v := range p.Grad.Data {
+			if snap[i] != v {
+				t.Fatalf("param %s grad[%d] changed after notification: %v -> %v", p.Name, i, snap[i], v)
+			}
+		}
+	}
+}
+
+// TestBackwardNotifyNilHookMatchesBackward: a nil hook must be a pure
+// Backward (same gradient in, same accumulators).
+func TestBackwardNotifyNilHookMatchesBackward(t *testing.T) {
+	build := func() (*Sequential, *tensor.Tensor, *tensor.Tensor) {
+		rng := tensor.NewRNG(7)
+		m := NewSequential("m",
+			NewConv2D("c", 3, 4, 3, 3, 1, 1, 1, 1, ConvOpts{}, rng),
+			NewReLU("r"),
+			NewFlatten("fl"),
+			NewLinear("fc", 4*5*5, 3, rng),
+		)
+		x := tensor.New(2, 3, 5, 5)
+		rng.FillNormal(x, 0, 1)
+		out := m.Forward(x, true)
+		g := tensor.New(out.Shape()...)
+		rng.FillNormal(g, 0, 1)
+		return m, g, x
+	}
+	m1, g1, _ := build()
+	m2, g2, _ := build()
+	ZeroGrads(m1.Params())
+	ZeroGrads(m2.Params())
+	in1 := m1.Backward(g1)
+	in2 := BackwardNotify(m2, g2, nil)
+	if !in1.ApproxEqual(in2, 0) {
+		t.Fatal("input gradients differ")
+	}
+	p1, p2 := m1.Params(), m2.Params()
+	for i := range p1 {
+		for j := range p1[i].Grad.Data {
+			if p1[i].Grad.Data[j] != p2[i].Grad.Data[j] {
+				t.Fatalf("param %s grad[%d] differs", p1[i].Name, j)
+			}
+		}
+	}
+}

@@ -43,20 +43,29 @@ func New(params []*nn.Param, cfg Config) *SGD {
 // Parameters flagged NoWeightDecay (BN scale/shift, biases) skip the decay
 // term, matching the Torch recipe.
 func (o *SGD) Step(lr float32) {
-	for i, p := range o.params {
-		v := o.velocity[i]
-		w := p.Value.Data
-		g := p.Grad.Data
-		wd := o.cfg.WeightDecay
-		if p.NoWeightDecay {
-			wd = 0
-		}
-		m := o.cfg.Momentum
-		for j := range w {
-			grad := g[j] + wd*w[j]
-			v[j] = m*v[j] + grad
-			w[j] -= lr * v[j]
-		}
+	for i := range o.params {
+		o.StepParam(i, lr)
+	}
+}
+
+// StepParam updates the single parameter at index i (the optimizer's
+// construction order). Parameter updates are independent, so applying them
+// one at a time as reduced gradient buckets land — the reactive pipeline's
+// per-bucket update — is bitwise identical to a full Step.
+func (o *SGD) StepParam(i int, lr float32) {
+	p := o.params[i]
+	v := o.velocity[i]
+	w := p.Value.Data
+	g := p.Grad.Data
+	wd := o.cfg.WeightDecay
+	if p.NoWeightDecay {
+		wd = 0
+	}
+	m := o.cfg.Momentum
+	for j := range w {
+		grad := g[j] + wd*w[j]
+		v[j] = m*v[j] + grad
+		w[j] -= lr * v[j]
 	}
 }
 

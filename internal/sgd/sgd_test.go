@@ -146,3 +146,35 @@ func TestTwoReplicasStayInSyncUnderIdenticalUpdates(t *testing.T) {
 		}
 	}
 }
+
+// TestStepParamMatchesStep: updating parameters one at a time in any order
+// must be bitwise identical to a full Step — the invariant the reactive
+// pipeline's per-bucket updates rely on.
+func TestStepParamMatchesStep(t *testing.T) {
+	build := func() []*nn.Param {
+		return []*nn.Param{
+			onParam([]float32{1, -2, 3}, []float32{0.5, 0.25, -0.125}, false),
+			onParam([]float32{0.5}, []float32{-1}, true),
+			onParam([]float32{-4, 4}, []float32{2, -2}, false),
+		}
+	}
+	full := build()
+	piecewise := build()
+	of := New(full, DefaultConfig())
+	op := New(piecewise, DefaultConfig())
+	for step := 0; step < 3; step++ {
+		of.Step(0.1)
+		// Reverse order, as buckets land back-to-front during backward.
+		for i := len(piecewise) - 1; i >= 0; i-- {
+			op.StepParam(i, 0.1)
+		}
+	}
+	for i := range full {
+		for j := range full[i].Value.Data {
+			if full[i].Value.Data[j] != piecewise[i].Value.Data[j] {
+				t.Fatalf("param %d value[%d]: full %v, piecewise %v",
+					i, j, full[i].Value.Data[j], piecewise[i].Value.Data[j])
+			}
+		}
+	}
+}
