@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench overlap lint clean
+.PHONY: all build test race bench allocs overlap lint clean
 
 all: lint build test
 
@@ -18,8 +18,14 @@ race:
 
 # Every benchmark once — the CI smoke run. Full measurement runs want
 # `go test -bench=. -benchtime=10x .` by hand.
-bench:
+bench: allocs
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Allocation profile of the training hot path, gated against the committed
+# BENCH_alloc.json baseline (fails if allocs/op regresses > 2x).
+allocs:
+	$(GO) run ./cmd/benchtool -allocs -learners 2 -devices 1 -steps 25 \
+		-json BENCH_alloc.new.json -allocs-baseline BENCH_alloc.json
 
 # The overlap workload CI runs: phased vs reactive schedules of the same
 # comm-heavy job, with the JSON report benchtool uploads as an artifact.

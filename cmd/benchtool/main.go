@@ -41,9 +41,18 @@ func main() {
 	steps := flag.Int("steps", 60, "steps for the compression/overlap workloads")
 	overlap := flag.Bool("overlap", false, "run the reactive-pipeline overlap workload (phased vs overlapped schedules)")
 	devices := flag.Int("devices", 2, "devices per learner for the overlap workload")
-	jsonPath := flag.String("json", "", "write the overlap workload report to this JSON file")
+	jsonPath := flag.String("json", "", "write the overlap/allocs workload report to this JSON file")
+	allocs := flag.Bool("allocs", false, "run the allocation-profile workload (allocs/op, bytes/op, GC pauses per step)")
+	allocsBaseline := flag.String("allocs-baseline", "", "compare the -allocs run against this committed baseline JSON and fail on regression")
+	allocsMaxRegress := flag.Float64("allocs-max-regress", 2.0, "allowed allocs/op growth factor vs the -allocs-baseline")
 	flag.Parse()
 
+	if *allocs {
+		if err := allocsWorkload(*compressAlg, *topkRatio, *learners, *devices, *steps, *jsonPath, *allocsBaseline, *allocsMaxRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *overlap {
 		if err := overlapWorkload(*compressAlg, *topkRatio, *learners, *devices, *steps, *jsonPath); err != nil {
 			log.Fatal(err)

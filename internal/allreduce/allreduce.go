@@ -6,6 +6,16 @@ import (
 	"repro/internal/mpi"
 )
 
+// Register the default algorithm as mpi.Comm.AllReduceFloats' large-payload
+// path: the naive reduce+broadcast composition stays for small vectors, but
+// any program linking this package gets recursive doubling / Rabenseifner
+// above the crossover for free (mpi itself cannot import the algorithms).
+func init() {
+	mpi.SetLargeAllReduceDelegate(func(c *mpi.Comm, data []float32) error {
+		return AllReduce(c, data, AlgDefault, Options{})
+	}, Options{}.withDefaults().DefaultCrossover)
+}
+
 // Algorithm names an allreduce implementation.
 type Algorithm string
 
@@ -78,7 +88,10 @@ func AllReduce(c *mpi.Comm, data []float32, alg Algorithm, opts Options) error {
 	opts = opts.withDefaults()
 	switch alg {
 	case AlgNaive:
-		return c.AllReduceFloats(data)
+		// Explicitly the naive composition: the benchmarked baseline must not
+		// route through the large-payload delegate registered above (which
+		// would silently measure AlgDefault against itself).
+		return c.AllReduceFloatsNaive(data)
 	case AlgRing:
 		return pipelinedRing(c, data, opts)
 	case AlgBucketRing:
@@ -109,7 +122,8 @@ func pipelinedRing(c *mpi.Comm, data []float32, opts Options) error {
 	rank := c.Rank()
 	seg := opts.SegmentFloats
 	nseg := (len(data) + seg - 1) / seg
-	buf := make([]float32, seg)
+	buf := mpi.GetFloats(seg)
+	defer mpi.PutFloats(buf)
 
 	// Reduction phase: data flows rank n-1 -> n-2 -> ... -> 0.
 	for s := 0; s < nseg; s++ {
@@ -119,15 +133,10 @@ func pipelinedRing(c *mpi.Comm, data []float32, opts Options) error {
 			hi = len(data)
 		}
 		if rank < n-1 {
-			b, err := c.Recv(rank+1, tagRingReduce)
-			if err != nil {
-				return err
-			}
-			if len(b) != 4*(hi-lo) {
-				return fmt.Errorf("allreduce: ring segment size %d, want %d", len(b), 4*(hi-lo))
-			}
 			part := buf[:hi-lo]
-			mpi.DecodeFloat32s(part, b)
+			if err := c.RecvFloatsInto(part, rank+1, tagRingReduce); err != nil {
+				return fmt.Errorf("allreduce: ring segment: %w", err)
+			}
 			for i, v := range part {
 				data[lo+i] += v
 			}
@@ -146,11 +155,9 @@ func pipelinedRing(c *mpi.Comm, data []float32, opts Options) error {
 			hi = len(data)
 		}
 		if rank > 0 {
-			b, err := c.Recv(rank-1, tagRingBcast)
-			if err != nil {
+			if err := c.RecvFloatsInto(data[lo:hi], rank-1, tagRingBcast); err != nil {
 				return err
 			}
-			mpi.DecodeFloat32s(data[lo:hi], b)
 		}
 		if rank < n-1 {
 			if err := c.SendFloats(rank+1, tagRingBcast, data[lo:hi]); err != nil {
@@ -175,20 +182,20 @@ func bucketRing(c *mpi.Comm, data []float32) error {
 	}
 	// Reduce-scatter: after n-1 steps, rank owns the full sum of chunk
 	// (rank+1) mod n.
+	tmp := mpi.GetFloats(len(data)/n + 1)
+	defer mpi.PutFloats(tmp)
 	for s := 0; s < n-1; s++ {
 		sendIdx := rank - s
 		recvIdx := rank - s - 1
 		if err := c.SendFloats(right, tagBucket+s, chunk(sendIdx)); err != nil {
 			return err
 		}
-		b, err := c.Recv(left, tagBucket+s)
-		if err != nil {
+		dst := chunk(recvIdx)
+		part := tmp[:len(dst)]
+		if err := c.RecvFloatsInto(part, left, tagBucket+s); err != nil {
 			return err
 		}
-		dst := chunk(recvIdx)
-		tmp := make([]float32, len(dst))
-		mpi.DecodeFloat32s(tmp, b)
-		for i, v := range tmp {
+		for i, v := range part {
 			dst[i] += v
 		}
 	}
@@ -199,11 +206,9 @@ func bucketRing(c *mpi.Comm, data []float32) error {
 		if err := c.SendFloats(right, tagBucket+n+s, chunk(sendIdx)); err != nil {
 			return err
 		}
-		b, err := c.Recv(left, tagBucket+n+s)
-		if err != nil {
+		if err := c.RecvFloatsInto(chunk(recvIdx), left, tagBucket+n+s); err != nil {
 			return err
 		}
-		mpi.DecodeFloat32s(chunk(recvIdx), b)
 	}
 	return nil
 }
@@ -219,26 +224,20 @@ func recursiveDoubling(c *mpi.Comm, data []float32) error {
 		p2 *= 2
 	}
 	extra := n - p2
-	tmp := make([]float32, len(data))
 
 	// Fold: ranks >= p2 send to rank-p2 and wait for the result.
 	if rank >= p2 {
 		if err := c.SendFloats(rank-p2, tagRD, data); err != nil {
 			return err
 		}
-		b, err := c.Recv(rank-p2, tagRD)
-		if err != nil {
-			return err
-		}
-		mpi.DecodeFloat32s(data, b)
-		return nil
+		return c.RecvFloatsInto(data, rank-p2, tagRD)
 	}
+	tmp := mpi.GetFloats(len(data))
+	defer mpi.PutFloats(tmp)
 	if rank < extra {
-		b, err := c.Recv(rank+p2, tagRD)
-		if err != nil {
+		if err := c.RecvFloatsInto(tmp, rank+p2, tagRD); err != nil {
 			return err
 		}
-		mpi.DecodeFloat32s(tmp, b)
 		for i, v := range tmp {
 			data[i] += v
 		}
@@ -249,11 +248,9 @@ func recursiveDoubling(c *mpi.Comm, data []float32) error {
 		if err := c.SendFloats(partner, tagRD+d, data); err != nil {
 			return err
 		}
-		b, err := c.Recv(partner, tagRD+d)
-		if err != nil {
+		if err := c.RecvFloatsInto(tmp, partner, tagRD+d); err != nil {
 			return err
 		}
-		mpi.DecodeFloat32s(tmp, b)
 		for i, v := range tmp {
 			data[i] += v
 		}

@@ -104,6 +104,7 @@ func BucketedAllReduce(c *mpi.Comm, data []float32, codec compress.Codec, opts C
 		if res.Err == nil {
 			copy(data[res.Lo:res.Hi], res.Sum)
 		}
+		res.Release()
 	}
 	return s.Stats()
 }

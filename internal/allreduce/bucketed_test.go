@@ -156,7 +156,7 @@ func TestBucketedSelfDecoded(t *testing.T) {
 		want := make([]float32, length)
 		for lo := 0; lo < length; lo += bucket {
 			hi := min(lo+bucket, length)
-			if err := codec.Decompress(want[lo:hi], codec.Compress(orig[lo:hi])); err != nil {
+			if err := codec.Decompress(want[lo:hi], compress.Encode(codec, orig[lo:hi])); err != nil {
 				return err
 			}
 		}

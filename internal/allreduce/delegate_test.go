@@ -1,0 +1,75 @@
+package allreduce
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// Linking this package must install the large-payload delegate, and
+// mpi.Comm.AllReduceFloats must stay correct on both sides of the crossover
+// (naive reduce+bcast below, AlgDefault — recursive doubling / Rabenseifner —
+// above).
+func TestAllReduceFloatsDelegation(t *testing.T) {
+	if !mpi.LargeAllReduceDelegateInstalled() {
+		t.Fatal("allreduce init did not register the AllReduceFloats delegate")
+	}
+	crossover := Options{}.withDefaults().DefaultCrossover
+	for _, n := range []int{3, 4} {
+		for _, length := range []int{32, crossover + 1000} {
+			w := mpi.NewWorld(n)
+			err := w.Run(func(c *mpi.Comm) error {
+				data := make([]float32, length)
+				for i := range data {
+					data[i] = float32((c.Rank() + 1) * (i%17 + 1))
+				}
+				if err := c.AllReduceFloats(data); err != nil {
+					return err
+				}
+				var rankSum float32
+				for r := 1; r <= n; r++ {
+					rankSum += float32(r)
+				}
+				for i, v := range data {
+					if want := rankSum * float32(i%17+1); v != want {
+						t.Errorf("n=%d len=%d rank %d elem %d = %v, want %v", n, length, c.Rank(), i, v, want)
+						return nil
+					}
+				}
+				return nil
+			})
+			w.Close()
+			if err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, length, err)
+			}
+		}
+	}
+}
+
+// The explicitly naive algorithm must not route through the delegate (it is
+// the benchmark baseline): AllReduce(AlgNaive) on a large payload still
+// produces the correct sum via AllReduceFloatsNaive.
+func TestAlgNaiveStaysNaive(t *testing.T) {
+	length := Options{}.withDefaults().DefaultCrossover * 2
+	w := mpi.NewWorld(3)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		data := make([]float32, length)
+		for i := range data {
+			data[i] = float32(c.Rank() + 1)
+		}
+		if err := AllReduce(c, data, AlgNaive, Options{}); err != nil {
+			return err
+		}
+		for i, v := range data {
+			if v != 6 {
+				t.Errorf("rank %d elem %d = %v, want 6", c.Rank(), i, v)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -54,7 +54,8 @@ func reduceBcastTree(c *mpi.Comm, chunk []float32, tree Tree, color, segFloats i
 	if len(chunk) == 0 {
 		nseg = 0
 	}
-	tmp := make([]float32, segFloats)
+	tmp := mpi.GetFloats(segFloats)
+	defer mpi.PutFloats(tmp)
 
 	// Upward (reduce) pass, root turnaround included.
 	for s := 0; s < nseg; s++ {
@@ -65,15 +66,10 @@ func reduceBcastTree(c *mpi.Comm, chunk []float32, tree Tree, color, segFloats i
 		}
 		seg := chunk[lo:hi]
 		for _, ch := range children {
-			b, err := c.Recv(ch, upTag)
-			if err != nil {
-				return err
-			}
-			if len(b) != 4*len(seg) {
-				return fmt.Errorf("allreduce: multicolor segment from %d is %d bytes, want %d", ch, len(b), 4*len(seg))
-			}
 			part := tmp[:len(seg)]
-			mpi.DecodeFloat32s(part, b)
+			if err := c.RecvFloatsInto(part, ch, upTag); err != nil {
+				return fmt.Errorf("allreduce: multicolor segment from %d: %w", ch, err)
+			}
 			for i, v := range part {
 				seg[i] += v
 			}
@@ -102,14 +98,9 @@ func reduceBcastTree(c *mpi.Comm, chunk []float32, tree Tree, color, segFloats i
 		if hi > len(chunk) {
 			hi = len(chunk)
 		}
-		b, err := c.Recv(parent, downTag)
-		if err != nil {
-			return err
+		if err := c.RecvFloatsInto(chunk[lo:hi], parent, downTag); err != nil {
+			return fmt.Errorf("allreduce: multicolor bcast segment: %w", err)
 		}
-		if len(b) != 4*(hi-lo) {
-			return fmt.Errorf("allreduce: multicolor bcast segment %d bytes, want %d", len(b), 4*(hi-lo))
-		}
-		mpi.DecodeFloat32s(chunk[lo:hi], b)
 		for _, ch := range children {
 			if err := c.SendFloats(ch, downTag, chunk[lo:hi]); err != nil {
 				return err

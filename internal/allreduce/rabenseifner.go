@@ -26,22 +26,19 @@ func rabenseifner(c *mpi.Comm, data []float32) error {
 		if err := c.SendFloats(rank-p2, tagRabFold, data); err != nil {
 			return err
 		}
-		b, err := c.Recv(rank-p2, tagRabBack)
-		if err != nil {
-			return err
-		}
-		mpi.DecodeFloat32s(data, b)
-		return nil
+		return c.RecvFloatsInto(data, rank-p2, tagRabBack)
 	}
 	if rank < extra {
-		b, err := c.Recv(rank+p2, tagRabFold)
+		tmp := mpi.GetFloats(len(data))
+		err := c.RecvFloatsInto(tmp, rank+p2, tagRabFold)
+		if err == nil {
+			for i, v := range tmp {
+				data[i] += v
+			}
+		}
+		mpi.PutFloats(tmp)
 		if err != nil {
 			return err
-		}
-		tmp := make([]float32, len(data))
-		mpi.DecodeFloat32s(tmp, b)
-		for i, v := range tmp {
-			data[i] += v
 		}
 	}
 
@@ -50,6 +47,8 @@ func rabenseifner(c *mpi.Comm, data []float32) error {
 	// partner at decreasing distance.
 	lo, hi := 0, len(data)
 	round := 0
+	rsTmp := mpi.GetFloats((len(data) + 1) / 2)
+	defer mpi.PutFloats(rsTmp)
 	for d := p2 / 2; d >= 1; d /= 2 {
 		partner := rank ^ d
 		mid := lo + (hi-lo)/2
@@ -64,15 +63,10 @@ func rabenseifner(c *mpi.Comm, data []float32) error {
 		if err := c.SendFloats(partner, tagRabRS+round, data[sendLo:sendHi]); err != nil {
 			return err
 		}
-		b, err := c.Recv(partner, tagRabRS+round)
-		if err != nil {
-			return err
+		tmp := rsTmp[:keepHi-keepLo]
+		if err := c.RecvFloatsInto(tmp, partner, tagRabRS+round); err != nil {
+			return fmt.Errorf("allreduce: rabenseifner RS: %w", err)
 		}
-		if len(b) != 4*(keepHi-keepLo) {
-			return fmt.Errorf("allreduce: rabenseifner RS size %d, want %d", len(b), 4*(keepHi-keepLo))
-		}
-		tmp := make([]float32, keepHi-keepLo)
-		mpi.DecodeFloat32s(tmp, b)
 		for i, v := range tmp {
 			data[keepLo+i] += v
 		}
@@ -86,11 +80,11 @@ func rabenseifner(c *mpi.Comm, data []float32) error {
 	round = 0
 	for d := 1; d < p2; d <<= 1 {
 		partner := rank ^ d
-		msg := make([]byte, 8+4*(hi-lo))
+		msg := mpi.GetBytes(8 + 4*(hi-lo))
 		binary.LittleEndian.PutUint32(msg[0:], uint32(lo))
 		binary.LittleEndian.PutUint32(msg[4:], uint32(hi))
 		mpi.EncodeFloat32s(msg[8:], data[lo:hi])
-		if err := c.Send(partner, tagRabAG+round, msg); err != nil {
+		if err := c.SendOwned(partner, tagRabAG+round, msg); err != nil {
 			return err
 		}
 		b, err := c.Recv(partner, tagRabAG+round)
@@ -98,14 +92,17 @@ func rabenseifner(c *mpi.Comm, data []float32) error {
 			return err
 		}
 		if len(b) < 8 {
+			mpi.PutBytes(b)
 			return fmt.Errorf("allreduce: rabenseifner AG short message (%d bytes)", len(b))
 		}
 		plo := int(binary.LittleEndian.Uint32(b[0:]))
 		phi := int(binary.LittleEndian.Uint32(b[4:]))
 		if phi < plo || phi > len(data) || len(b) != 8+4*(phi-plo) {
+			mpi.PutBytes(b)
 			return fmt.Errorf("allreduce: rabenseifner AG bad interval [%d,%d) with %d bytes", plo, phi, len(b))
 		}
 		mpi.DecodeFloat32s(data[plo:phi], b[8:])
+		mpi.PutBytes(b)
 		// Merge intervals (they are adjacent by construction).
 		if plo < lo {
 			lo = plo

@@ -27,10 +27,19 @@ type BucketResult struct {
 	Idx    int
 	Lo, Hi int
 	// Sum is the reduced bucket (length Hi-Lo), accumulated in rank order —
-	// bitwise identical on every rank.
+	// bitwise identical on every rank. The buffer is pooled: consume it and
+	// call Release so the next step reuses it (dropping it is safe but
+	// reintroduces the allocation).
 	Sum []float32
 	// Err reports a failure for this bucket; Sum is nil when set.
 	Err error
+}
+
+// Release returns Sum to the shared buffer pool. The caller must be done
+// with the slice; calling Release twice or on a zero result is harmless.
+func (r *BucketResult) Release() {
+	mpi.PutFloats(r.Sum)
+	r.Sum = nil
 }
 
 // streamSub is one submitted bucket awaiting launch.
@@ -63,6 +72,13 @@ type streamSub struct {
 // Results; Submit must not be called after CloseSend. The data slice passed
 // to Submit is read at compress time and must stay unmodified until the
 // bucket's result arrives.
+//
+// Buffer discipline (the zero-allocation path): payloads are compressed into
+// pooled scratch released after the sends complete; received payloads are
+// pooled transport buffers released after decode; Sum buffers are pooled and
+// released by the consumer via BucketResult.Release; request handles and the
+// per-bucket request tables recycle through a free list sized to the
+// in-flight window. Steady state allocates nothing per bucket.
 type Stream struct {
 	c       *mpi.Comm
 	codec   compress.Codec
@@ -70,6 +86,7 @@ type Stream struct {
 	subs    chan streamSub
 	results chan BucketResult
 	slots   chan struct{}
+	free    chan bucketJob // retired jobs whose request tables get reused
 	done    chan struct{}
 	stats   CompressedStats
 	err     error
@@ -92,6 +109,7 @@ func NewStream(c *mpi.Comm, codec compress.Codec, opts StreamOptions) *Stream {
 		subs:    make(chan streamSub),
 		results: make(chan BucketResult, opts.MaxInFlight),
 		slots:   make(chan struct{}, opts.MaxInFlight),
+		free:    make(chan bucketJob, opts.MaxInFlight),
 		done:    make(chan struct{}),
 	}
 	inflight := make(chan bucketJob, opts.MaxInFlight)
@@ -135,9 +153,19 @@ func (s *Stream) launch(inflight chan<- bucketJob) {
 	rank := s.c.Rank()
 	for sub := range s.subs {
 		s.slots <- struct{}{}
-		job := bucketJob{idx: sub.idx, lo: sub.lo, hi: sub.hi, payload: s.codec.Compress(sub.data)}
+		var job bucketJob
+		select {
+		case job = <-s.free:
+		default:
+		}
+		job.idx, job.lo, job.hi = sub.idx, sub.lo, sub.hi
+		scratch := mpi.GetBytes(s.codec.MaxCompressedSize(len(sub.data)))
+		job.payload = s.codec.AppendCompress(scratch[:0], sub.data)
 		tag := tagCompressed + job.idx%compressedTagSpan
-		job.recvReqs = make([]*mpi.Request, n)
+		if job.recvReqs == nil {
+			job.recvReqs = make([]*mpi.Request, n)
+		}
+		job.sendReqs = job.sendReqs[:0]
 		for r := 0; r < n; r++ {
 			if r == rank {
 				continue
@@ -150,6 +178,21 @@ func (s *Stream) launch(inflight chan<- bucketJob) {
 	close(inflight)
 }
 
+// retire recycles a finished job's request tables for the next bucket.
+func (s *Stream) retire(job bucketJob) {
+	for i := range job.recvReqs {
+		job.recvReqs[i] = nil
+	}
+	for i := range job.sendReqs {
+		job.sendReqs[i] = nil
+	}
+	job.payload = nil
+	select {
+	case s.free <- job:
+	default:
+	}
+}
+
 // reduce is stage 3: decode every rank's payload in rank order, sum, and
 // emit the result. Runs on its own goroutine; it alone mutates stats.
 func (s *Stream) reduce(inflight <-chan bucketJob) {
@@ -158,18 +201,24 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 	var tmp []float32 // decode scratch, reused across buckets (grown on demand)
 	for job := range inflight {
 		width := job.hi - job.lo
-		sum := make([]float32, width) // handed to the consumer; must be fresh
+		// Pooled, but zeroed: accumulating into exact +0 keeps the sum
+		// bitwise identical to the historical make-per-bucket path.
+		sum := mpi.GetFloatsZeroed(width)
 		if cap(tmp) < width {
 			tmp = make([]float32, width)
 		}
 		tmp = tmp[:width]
+		payloadLen := len(job.payload)
 		var jobErr error
 		for r := 0; r < n; r++ {
 			var payload []byte
+			release := false
 			if r == rank {
 				payload = job.payload
 			} else {
-				b, err := job.recvReqs[r].Wait()
+				req := job.recvReqs[r]
+				b, err := req.Wait()
+				req.Release()
 				if err != nil {
 					if jobErr == nil {
 						jobErr = err
@@ -178,24 +227,36 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 				}
 				s.stats.BytesRecv += int64(len(b))
 				payload = b
+				release = true
 			}
 			if jobErr != nil {
+				if release {
+					mpi.PutBytes(payload)
+				}
 				continue
 			}
 			if err := s.codec.Decompress(tmp, payload); err != nil {
 				jobErr = fmt.Errorf("allreduce: bucket %d from rank %d: %w", job.idx, r, err)
-				continue
+			} else {
+				if r == rank && s.opts.SelfDecoded != nil {
+					copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
+				}
+				for i, v := range tmp {
+					sum[i] += v
+				}
 			}
-			if r == rank && s.opts.SelfDecoded != nil {
-				copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
-			}
-			for i, v := range tmp {
-				sum[i] += v
+			if release {
+				mpi.PutBytes(payload)
 			}
 		}
 		if err := mpi.WaitAll(job.sendReqs...); err != nil && jobErr == nil {
 			jobErr = err
 		}
+		for _, req := range job.sendReqs {
+			req.Release()
+		}
+		// Sends have completed, so the payload buffer is quiescent.
+		mpi.PutBytes(job.payload)
 		s.stats.Buckets++
 		res := BucketResult{Idx: job.idx, Lo: job.lo, Hi: job.hi}
 		if jobErr != nil {
@@ -203,11 +264,13 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 				s.err = jobErr
 			}
 			res.Err = jobErr
+			mpi.PutFloats(sum)
 		} else {
-			s.stats.BytesSent += int64(len(job.payload)) * int64(n-1)
+			s.stats.BytesSent += int64(payloadLen) * int64(n-1)
 			s.stats.RawBytes += int64(4*width) * int64(n-1)
 			res.Sum = sum
 		}
+		s.retire(job)
 		s.results <- res
 		<-s.slots
 	}

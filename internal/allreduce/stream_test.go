@@ -190,7 +190,7 @@ func TestStreamSelfDecoded(t *testing.T) {
 		for b := 0; b*bf < n; b++ {
 			lo, hi := b*bf, min(b*bf+bf, n)
 			want := make([]float32, hi-lo)
-			if err := codec.Decompress(want, codec.Compress(data[rank][lo:hi])); err != nil {
+			if err := codec.Decompress(want, compress.Encode(codec, data[rank][lo:hi])); err != nil {
 				return err
 			}
 			for i, v := range want {

@@ -9,6 +9,18 @@ import (
 	"repro/internal/mpi"
 )
 
+// grow extends b by n bytes without the temporary-slice allocation of
+// append(b, make([]byte, n)...), returning the extended slice. When the
+// caller sized b's capacity with MaxCompressedSize this never allocates.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[: len(b)+n : cap(b)]
+	}
+	nb := make([]byte, len(b)+n, 2*cap(b)+n)
+	copy(nb, b)
+	return nb
+}
+
 // Identity moves raw little-endian float32 bytes — no compression. It is the
 // "none" codec: running it through the bucketed path makes wire-byte
 // accounting directly comparable with the lossy codecs.
@@ -17,9 +29,15 @@ type Identity struct{}
 // Name implements Codec.
 func (Identity) Name() string { return "none" }
 
-// Compress implements Codec.
-func (Identity) Compress(src []float32) []byte {
-	return mpi.Float32sToBytes(src)
+// MaxCompressedSize implements Codec.
+func (Identity) MaxCompressedSize(n int) int { return 4 * n }
+
+// AppendCompress implements Codec.
+func (Identity) AppendCompress(dst []byte, src []float32) []byte {
+	off := len(dst)
+	dst = grow(dst, 4*len(src))
+	mpi.EncodeFloat32s(dst[off:], src)
+	return dst
 }
 
 // Decompress implements Codec.
@@ -40,8 +58,11 @@ type Int8 struct{}
 // Name implements Codec.
 func (Int8) Name() string { return "int8" }
 
-// Compress implements Codec.
-func (Int8) Compress(src []float32) []byte {
+// MaxCompressedSize implements Codec.
+func (Int8) MaxCompressedSize(n int) int { return 4 + n }
+
+// AppendCompress implements Codec.
+func (Int8) AppendCompress(dst []byte, src []float32) []byte {
 	var maxAbs float32
 	for _, v := range src {
 		a := float32(math.Abs(float64(v)))
@@ -50,17 +71,26 @@ func (Int8) Compress(src []float32) []byte {
 		}
 	}
 	scale := maxAbs / 127
-	b := make([]byte, 4+len(src))
+	off := len(dst)
+	dst = grow(dst, 4+len(src))
+	b := dst[off:]
 	binary.LittleEndian.PutUint32(b, math.Float32bits(scale))
 	if scale == 0 {
-		return b // all-zero bucket (or all subnormal): quantizes to zeros
+		// All-zero bucket (or all subnormal): quantizes to zeros.
+		for i := range src {
+			b[4+i] = 0
+		}
+		return dst
 	}
 	if math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
 		// A NaN/Inf gradient element must surface as divergence, exactly as
 		// the uncompressed path would: a non-finite scale decodes the whole
 		// bucket to NaN. Quantized bytes stay zero — float-to-int conversion
 		// of non-finite values is implementation-defined, so don't attempt it.
-		return b
+		for i := range src {
+			b[4+i] = 0
+		}
+		return dst
 	}
 	for i, v := range src {
 		q := math.RoundToEven(float64(v / scale))
@@ -71,7 +101,7 @@ func (Int8) Compress(src []float32) []byte {
 		}
 		b[4+i] = byte(int8(q))
 	}
-	return b
+	return dst
 }
 
 // Decompress implements Codec.
@@ -84,6 +114,54 @@ func (Int8) Decompress(dst []float32, payload []byte) error {
 		dst[i] = float32(int8(payload[4+i])) * scale
 	}
 	return nil
+}
+
+// magSorter orders candidate indices by descending magnitude of the bucket
+// values, ties toward the lower index (deterministic payloads). It
+// implements sort.Interface on a reusable struct — sort.Slice would allocate
+// its closure and reflect-based swapper on every bucket.
+type magSorter struct {
+	idx []int
+	src []float32
+}
+
+func (s *magSorter) Len() int      { return len(s.idx) }
+func (s *magSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *magSorter) Less(a, b int) bool {
+	av := math.Abs(float64(s.src[s.idx[a]]))
+	bv := math.Abs(float64(s.src[s.idx[b]]))
+	if av != bv {
+		return av > bv
+	}
+	return s.idx[a] < s.idx[b]
+}
+
+// topkScratch recycles sorters (and their index scratch) across
+// AppendCompress calls: a bounded channel freelist, so reuse never allocates
+// and bursts fall through to make.
+var topkScratch = make(chan *magSorter, 16)
+
+func getSorter(n int, src []float32) *magSorter {
+	var s *magSorter
+	select {
+	case s = <-topkScratch:
+	default:
+		s = &magSorter{}
+	}
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	s.idx = s.idx[:n]
+	s.src = src
+	return s
+}
+
+func putSorter(s *magSorter) {
+	s.src = nil // don't pin the caller's gradient memory
+	select {
+	case topkScratch <- s:
+	default:
+	}
 }
 
 // TopK keeps the ceil(Ratio*n) largest-magnitude elements of a bucket at
@@ -111,31 +189,30 @@ func (t TopK) keep(n int) int {
 	return k
 }
 
-// Compress implements Codec.
-func (t TopK) Compress(src []float32) []byte {
+// MaxCompressedSize implements Codec.
+func (t TopK) MaxCompressedSize(n int) int { return 4 + 8*t.keep(n) }
+
+// AppendCompress implements Codec.
+func (t TopK) AppendCompress(dst []byte, src []float32) []byte {
 	n := len(src)
 	k := t.keep(n)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	s := getSorter(n, src)
+	for i := range s.idx {
+		s.idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		av := math.Abs(float64(src[idx[a]]))
-		bv := math.Abs(float64(src[idx[b]]))
-		if av != bv {
-			return av > bv
-		}
-		return idx[a] < idx[b]
-	})
-	kept := idx[:k]
+	sort.Sort(s)
+	kept := s.idx[:k]
 	sort.Ints(kept) // ascending index order keeps payloads canonical
-	b := make([]byte, 4+8*k)
+	off := len(dst)
+	dst = grow(dst, 4+8*k)
+	b := dst[off:]
 	binary.LittleEndian.PutUint32(b, uint32(k))
 	for i, j := range kept {
 		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(j))
 		binary.LittleEndian.PutUint32(b[4+4*k+4*i:], math.Float32bits(src[j]))
 	}
-	return b
+	putSorter(s)
+	return dst
 }
 
 // Decompress implements Codec.

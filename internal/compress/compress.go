@@ -15,17 +15,32 @@ import (
 	"fmt"
 )
 
-// Codec encodes a float32 vector into a byte payload and back. Compress and
-// Decompress must round-trip lengths exactly: a payload produced from n
+// Codec encodes a float32 vector into a byte payload and back. AppendCompress
+// and Decompress must round-trip lengths exactly: a payload produced from n
 // floats decompresses into a length-n destination.
+//
+// Both directions operate on caller-provided memory: AppendCompress appends
+// to a scratch slice (pass one with MaxCompressedSize capacity for an
+// allocation-free encode) and Decompress overwrites a caller buffer — the
+// contract that lets the bucketed allreduce recycle payload buffers across
+// steps instead of allocating its full communication volume every step.
 type Codec interface {
 	// Name identifies the codec in flags, stats, and logs.
 	Name() string
-	// Compress encodes src into a fresh payload.
-	Compress(src []float32) []byte
+	// MaxCompressedSize bounds the payload size for an n-float bucket.
+	MaxCompressedSize(n int) int
+	// AppendCompress appends the encoding of src to dst and returns the
+	// extended slice (append semantics: dst may be nil).
+	AppendCompress(dst []byte, src []float32) []byte
 	// Decompress decodes payload into dst, overwriting every element. It
 	// errors if the payload does not describe exactly len(dst) floats.
 	Decompress(dst []float32, payload []byte) error
+}
+
+// Encode compresses src into a fresh payload — the convenience form for
+// tests and cold paths; hot paths pass pooled scratch to AppendCompress.
+func Encode(c Codec, src []float32) []byte {
+	return c.AppendCompress(nil, src)
 }
 
 // Config selects and tunes a codec; the zero value means "uncompressed

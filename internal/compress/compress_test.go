@@ -19,7 +19,7 @@ func TestIdentityRoundTripExact(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 1000} {
 		src := randVec(n, int64(n)+1)
 		c := Identity{}
-		payload := c.Compress(src)
+		payload := Encode(c, src)
 		if len(payload) != 4*n {
 			t.Fatalf("n=%d: payload %d bytes, want %d", n, len(payload), 4*n)
 		}
@@ -47,7 +47,7 @@ func TestInt8RoundTripBound(t *testing.T) {
 			}
 		}
 		c := Int8{}
-		payload := c.Compress(src)
+		payload := Encode(c, src)
 		if len(payload) != 4+len(src) {
 			t.Fatalf("payload %d bytes, want %d", len(payload), 4+len(src))
 		}
@@ -68,7 +68,7 @@ func TestInt8ZeroAndConstantBuckets(t *testing.T) {
 	c := Int8{}
 	zero := make([]float32, 16)
 	dst := make([]float32, 16)
-	if err := c.Decompress(dst, c.Compress(zero)); err != nil {
+	if err := c.Decompress(dst, Encode(c, zero)); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range dst {
@@ -80,7 +80,7 @@ func TestInt8ZeroAndConstantBuckets(t *testing.T) {
 	for i := range konst {
 		konst[i] = -3.5
 	}
-	if err := c.Decompress(dst, c.Compress(konst)); err != nil {
+	if err := c.Decompress(dst, Encode(c, konst)); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range dst {
@@ -99,7 +99,7 @@ func TestInt8NonFinitePropagatesAsNaN(t *testing.T) {
 	for _, poison := range []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))} {
 		src := []float32{1, -2, poison, 0.5}
 		dst := make([]float32, len(src))
-		if err := c.Decompress(dst, c.Compress(src)); err != nil {
+		if err := c.Decompress(dst, Encode(c, src)); err != nil {
 			t.Fatal(err)
 		}
 		for i, v := range dst {
@@ -113,7 +113,7 @@ func TestInt8NonFinitePropagatesAsNaN(t *testing.T) {
 func TestTopKKeepsLargestExactly(t *testing.T) {
 	src := []float32{0.1, -5, 0.2, 3, -0.05, 4, 0, -2}
 	c := TopK{Ratio: 0.5} // keep 4 of 8
-	payload := c.Compress(src)
+	payload := Encode(c, src)
 	if want := 4 + 8*4; len(payload) != want {
 		t.Fatalf("payload %d bytes, want %d", len(payload), want)
 	}
@@ -133,14 +133,14 @@ func TestTopKKeepsAtLeastOneAndAtMostN(t *testing.T) {
 	c := TopK{Ratio: 0.001}
 	src := []float32{1, 2, 3}
 	dst := make([]float32, 3)
-	if err := c.Decompress(dst, c.Compress(src)); err != nil {
+	if err := c.Decompress(dst, Encode(c, src)); err != nil {
 		t.Fatal(err)
 	}
 	if dst[2] != 3 || dst[0] != 0 || dst[1] != 0 {
 		t.Fatalf("ratio<1/n should keep exactly the largest element, got %v", dst)
 	}
 	full := TopK{Ratio: 1}
-	if err := full.Decompress(dst, full.Compress(src)); err != nil {
+	if err := full.Decompress(dst, Encode(full, src)); err != nil {
 		t.Fatal(err)
 	}
 	for i := range src {
@@ -153,8 +153,8 @@ func TestTopKKeepsAtLeastOneAndAtMostN(t *testing.T) {
 func TestTopKDeterministicOnTies(t *testing.T) {
 	src := []float32{1, -1, 1, -1}
 	c := TopK{Ratio: 0.5}
-	p1 := c.Compress(src)
-	p2 := c.Compress(append([]float32(nil), src...))
+	p1 := Encode(c, src)
+	p2 := Encode(c, append([]float32(nil), src...))
 	if string(p1) != string(p2) {
 		t.Fatal("topk payloads differ across identical inputs")
 	}
@@ -183,7 +183,7 @@ func TestDecompressRejectsBadPayloads(t *testing.T) {
 		t.Fatal("topk: truncated header should error")
 	}
 	// k larger than the bucket.
-	big := (TopK{Ratio: 1}).Compress(make([]float32, 8))
+	big := Encode(TopK{Ratio: 1}, make([]float32, 8))
 	if err := (TopK{Ratio: 1}).Decompress(dst, big); err == nil {
 		t.Fatal("topk: k > len(dst) should error")
 	}
@@ -208,7 +208,7 @@ func TestFeedbackAccountingIdentity(t *testing.T) {
 		}
 		f.Correct(g)
 		corrected := append([]float32(nil), g...)
-		if err := codec.Decompress(sent, codec.Compress(g)); err != nil {
+		if err := codec.Decompress(sent, Encode(codec, g)); err != nil {
 			t.Fatal(err)
 		}
 		f.Update(corrected, sent)
@@ -260,5 +260,43 @@ func TestNewSelectsCodec(t *testing.T) {
 	c, _ = New(Config{Codec: "topk"})
 	if c.(TopK).Ratio != 0.1 {
 		t.Fatalf("default topk ratio = %v, want 0.1", c.(TopK).Ratio)
+	}
+}
+
+// AppendCompress into recycled scratch must produce payloads identical to a
+// fresh encode — stale scratch contents must never leak into a payload (the
+// pooled hot path hands codecs dirty buffers by design).
+func TestAppendCompressScratchReuse(t *testing.T) {
+	codecs := []Codec{Identity{}, Int8{}, TopK{Ratio: 0.25}}
+	for _, c := range codecs {
+		scratch := make([]byte, 0, c.MaxCompressedSize(512))
+		// Poison the scratch capacity so stale bytes are detectable.
+		for i := 0; i < cap(scratch); i++ {
+			scratch = append(scratch, 0xAB)
+		}
+		scratch = scratch[:0]
+		for round := 0; round < 3; round++ {
+			src := randVec(512, int64(round))
+			fresh := Encode(c, src)
+			got := c.AppendCompress(scratch[:0], src)
+			if len(got) > cap(scratch) {
+				t.Fatalf("%s: payload %d bytes exceeds MaxCompressedSize %d", c.Name(), len(got), cap(scratch))
+			}
+			if string(got) != string(fresh) {
+				t.Fatalf("%s round %d: scratch-reuse payload differs from fresh encode", c.Name(), round)
+			}
+		}
+	}
+}
+
+// MaxCompressedSize must bound every payload (the pool sizes scratch with it).
+func TestMaxCompressedSizeBounds(t *testing.T) {
+	for _, c := range []Codec{Identity{}, Int8{}, TopK{Ratio: 0.1}, TopK{Ratio: 1}} {
+		for _, n := range []int{1, 7, 100, 2048} {
+			src := randVec(n, int64(n))
+			if got, max := len(Encode(c, src)), c.MaxCompressedSize(n); got > max {
+				t.Fatalf("%s n=%d: payload %d > MaxCompressedSize %d", c.Name(), n, got, max)
+			}
+		}
 	}
 }

@@ -179,6 +179,25 @@ func OverlapBenchModel(classes, size int, seed int64) nn.Layer {
 	)
 }
 
+// AllocBenchModel builds the parameter-heavy, compute-light MLP behind
+// benchtool's -allocs workload: the ~400k-float gradient dwarfs the few
+// dense-layer activations, so per-step allocation counts measure the
+// communication hot path (bucketing, codecs, transport) rather than conv
+// compute. Shared so the committed BENCH_alloc.json baseline and any local
+// rerun measure the same model.
+func AllocBenchModel(classes, size int, seed int64) nn.Layer {
+	rng := tensor.NewRNG(seed)
+	in := 3 * size * size
+	return nn.NewSequential("allocmlp",
+		nn.NewFlatten("fl"),
+		nn.NewLinear("fc1", in, 384, rng),
+		nn.NewReLU("r1"),
+		nn.NewLinear("fc2", 384, 256, rng),
+		nn.NewReLU("r2"),
+		nn.NewLinear("fc3", 256, classes, rng),
+	)
+}
+
 // SyntheticTensorData materializes a deterministic labelled dataset of n
 // size×size RGB images directly as tensors (bypassing the codec) for fast
 // functional experiments: class-dependent blob patterns a small CNN can

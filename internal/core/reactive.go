@@ -38,6 +38,15 @@ type bucketPlan struct {
 	lo, hi       []int   // bucket b covers [lo[b], hi[b])
 	paramsOf     [][]int // bucket -> overlapping param indices
 	bucketsOf    [][]int // param -> overlapping bucket indices
+
+	// Per-step countdown scratch, reset at the top of every step (the
+	// learner runs one step at a time, so one set suffices): pending[b] is
+	// the bucket's outstanding (param × device) contributions, remaining[p]
+	// the parameter's outstanding buckets, isReady the packer's
+	// out-of-order arrival mask.
+	pending   []int
+	remaining []int
+	isReady   []bool
 }
 
 func newBucketPlan(engine *dpt.Engine, bucketFloats int) *bucketPlan {
@@ -52,6 +61,9 @@ func newBucketPlan(engine *dpt.Engine, bucketFloats int) *bucketPlan {
 		hi:           make([]int, nb),
 		paramsOf:     make([][]int, nb),
 		bucketsOf:    make([][]int, engine.NumParams()),
+		pending:      make([]int, nb),
+		remaining:    make([]int, engine.NumParams()),
+		isReady:      make([]bool, nb),
 	}
 	for b := 0; b < nb; b++ {
 		p.lo[b] = b * bucketFloats
@@ -85,7 +97,7 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 
 	// Tracker: count down each bucket's (param × device) contributions as
 	// readiness hooks arrive from the device goroutines.
-	pending := make([]int, nb)
+	pending := plan.pending
 	for b := range pending {
 		pending[b] = len(plan.paramsOf[b]) * devices
 	}
@@ -120,7 +132,10 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 	packErr := make(chan error, 1)
 	go func() {
 		defer stream.CloseSend()
-		isReady := make([]bool, nb)
+		isReady := plan.isReady
+		for b := range isReady {
+			isReady[b] = false
+		}
 		next := nb - 1
 		for submitted := 0; submitted < nb; {
 			b, ok := <-ready
@@ -150,8 +165,9 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 
 	// Collector: as reduced buckets land, close the error-feedback loop,
 	// scale, scatter to the devices, and fire the SGD update for every
-	// parameter whose buckets have all arrived.
-	remaining := make([]int, len(plan.bucketsOf))
+	// parameter whose buckets have all arrived. Consumed Sum buffers are
+	// released back to the pool for the next buckets (and the next step).
+	remaining := plan.remaining
 	for i := range remaining {
 		remaining[i] = len(plan.bucketsOf[i])
 	}
@@ -160,6 +176,7 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 		var firstErr error
 		for res := range stream.Results() {
 			if firstErr != nil {
+				res.Release()
 				continue // drain
 			}
 			if res.Err != nil {
@@ -176,9 +193,11 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 			}
 			if err := l.engine.ScatterRange(res.Lo, res.Hi, res.Sum); err != nil {
 				firstErr = err
+				res.Release()
 				continue
 			}
 			copy(l.gradBuf[res.Lo:res.Hi], res.Sum)
+			res.Release()
 			for _, p := range plan.paramsOf[res.Idx] {
 				remaining[p]--
 				if remaining[p] == 0 {

@@ -66,6 +66,19 @@ type device struct {
 	labelBuf []int
 }
 
+// stageInput copies part into the device's staging tensor, reusing the
+// previous step's allocation when the partition shape is unchanged (the
+// steady state: fixed batch size means fixed shards). The model may retain
+// pointers into the staged tensor only until its backward completes, which
+// is strictly before the next step stages again.
+func (d *device) stageInput(part *tensor.Tensor) {
+	if d.input != nil && d.input.SameShape(part) {
+		_ = d.input.CopyFrom(part) // same shape: cannot fail
+	} else {
+		d.input = part.Clone()
+	}
+}
+
 func (d *device) run() {
 	for job := range d.jobs {
 		job()
@@ -89,6 +102,8 @@ type Engine struct {
 	compression compress.Config
 	closed      bool
 
+	// sumScratch is SumGrads' flatten buffer, reused across steps.
+	sumScratch []float32
 	// offsets[i] is parameter i's start in the flattened gradient; the
 	// reactive pipeline uses it to map parameters onto fixed-size buckets
 	// and to reduce/scatter sub-ranges without a full-vector flatten.
@@ -251,7 +266,7 @@ func (e *Engine) stepOptimized(x *tensor.Tensor, labels []int, sizes []int) (flo
 		lbl := labels[lo:hi]
 		d.submit(func() {
 			// Direct host->device transfer of just this partition.
-			d.input = part.Clone()
+			d.stageInput(part)
 			d.labelBuf = append(d.labelBuf[:0], lbl...)
 			nn.ZeroGrads(d.params)
 			out := d.model.Forward(d.input, true)
@@ -379,12 +394,17 @@ func (e *Engine) stepBaseline(x *tensor.Tensor, labels []int, sizes []int) (floa
 
 // SumGrads performs the intra-node gradient summation of Algorithm 1
 // (∆Wi = Σj ∆Wij): device gradients are flattened and summed into dst,
-// which must have length GradSize.
+// which must have length GradSize. The flatten scratch is held on the
+// engine — SumGrads runs once per step from the learner goroutine, so one
+// buffer suffices and the step stays allocation-free.
 func (e *Engine) SumGrads(dst []float32) error {
 	if len(dst) != e.gradSize {
 		return fmt.Errorf("dpt: SumGrads dst %d, want %d", len(dst), e.gradSize)
 	}
-	tmp := make([]float32, e.gradSize)
+	if e.sumScratch == nil {
+		e.sumScratch = make([]float32, e.gradSize)
+	}
+	tmp := e.sumScratch
 	for i, d := range e.devices {
 		buf := tmp
 		if i == 0 {

@@ -83,7 +83,7 @@ func (e *Engine) StepWithGradHook(x *tensor.Tensor, labels []int, hook GradHook)
 		part := x.MustSliceRows(lo, hi)
 		lbl := labels[lo:hi]
 		d.submit(func() {
-			d.input = part.Clone()
+			d.stageInput(part)
 			d.labelBuf = append(d.labelBuf[:0], lbl...)
 			nn.ZeroGrads(d.params)
 			out := d.model.Forward(d.input, true)

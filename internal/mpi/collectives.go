@@ -68,7 +68,8 @@ func (c *Comm) ReduceFloats(root int, data []float32) error {
 	vrank := (c.rank - root + n) % n
 	// Binomial reduction: in round `bit`, vranks with that bit set send to
 	// vrank-bit, then drop out.
-	buf := make([]float32, len(data))
+	buf := GetFloats(len(data))
+	defer PutFloats(buf)
 	for bit := 1; bit < n; bit <<= 1 {
 		if vrank&bit != 0 {
 			dst := ((vrank - bit) + root) % n
@@ -78,14 +79,9 @@ func (c *Comm) ReduceFloats(root int, data []float32) error {
 		if peer >= n {
 			continue
 		}
-		b, err := c.Recv((peer+root)%n, tagReduce)
-		if err != nil {
-			return err
+		if err := c.RecvFloatsInto(buf, (peer+root)%n, tagReduce); err != nil {
+			return fmt.Errorf("mpi: reduce: %w", err)
 		}
-		if len(b) != 4*len(data) {
-			return fmt.Errorf("mpi: reduce size mismatch: got %d bytes, want %d", len(b), 4*len(data))
-		}
-		DecodeFloat32s(buf, b)
 		for i, v := range buf {
 			data[i] += v
 		}
@@ -177,27 +173,66 @@ func (c *Comm) AllToAllV(send [][]byte) ([][]byte, error) {
 	return out, nil
 }
 
+// Large-payload allreduce delegation: internal/allreduce registers its
+// default algorithm (recursive doubling / Rabenseifner) here at init, so
+// AllReduceFloats callers get the optimized path for big vectors without
+// this package importing the algorithms (which would cycle).
+var (
+	largeAllReduce    func(c *Comm, data []float32) error
+	largeAllReduceMin = 4096
+)
+
+// SetLargeAllReduceDelegate installs fn as the allreduce used for payloads
+// above minFloats elements (minFloats <= 0 keeps the default threshold).
+// Intended to be called from an init function, before any communication.
+func SetLargeAllReduceDelegate(fn func(c *Comm, data []float32) error, minFloats int) {
+	largeAllReduce = fn
+	if minFloats > 0 {
+		largeAllReduceMin = minFloats
+	}
+}
+
+// LargeAllReduceDelegateInstalled reports whether a delegate is registered.
+func LargeAllReduceDelegateInstalled() bool { return largeAllReduce != nil }
+
 // AllReduceFloats sums equal-length float32 vectors across all ranks,
-// leaving the result on every rank. This is the naive reduce+broadcast
-// composition; the optimized algorithms (ring, Rabenseifner, multi-color)
-// live in internal/allreduce and should be preferred for large payloads.
+// leaving the result on every rank. Small payloads use the naive
+// reduce+broadcast composition; payloads above the delegation threshold are
+// routed to internal/allreduce's default algorithm when that package is
+// linked in (it registers itself at init).
 func (c *Comm) AllReduceFloats(data []float32) error {
+	if largeAllReduce != nil && len(data) > largeAllReduceMin && c.Size() > 1 {
+		return largeAllReduce(c, data)
+	}
+	return c.AllReduceFloatsNaive(data)
+}
+
+// AllReduceFloatsNaive is the reduce+broadcast composition, kept as the
+// small-payload path and as the explicit "naive" baseline in the allreduce
+// benchmarks (which must not silently measure the delegated algorithm).
+func (c *Comm) AllReduceFloatsNaive(data []float32) error {
 	if err := c.ReduceFloats(0, data); err != nil {
 		return err
 	}
 	var payload []byte
 	if c.rank == 0 {
-		payload = Float32sToBytes(data)
+		payload = GetBytes(4 * len(data))
+		EncodeFloat32s(payload, data)
 	}
 	got, err := c.Bcast(0, payload)
 	if err != nil {
+		PutBytes(payload)
 		return err
 	}
+	if c.rank != 0 && len(got) != 4*len(data) {
+		PutBytes(got)
+		return fmt.Errorf("mpi: allreduce bcast size %d, want %d", len(got), 4*len(data))
+	}
 	if c.rank != 0 {
-		if len(got) != 4*len(data) {
-			return fmt.Errorf("mpi: allreduce bcast size %d, want %d", len(got), 4*len(data))
-		}
 		DecodeFloat32s(data, got)
 	}
+	// On the root got aliases payload; on other ranks it is the transport
+	// buffer — pooled either way, and fully consumed at this point.
+	PutBytes(got)
 	return nil
 }

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// Scalar reference implementations the unrolled loops must match bit-exactly.
+func encodeRef(dst []byte, src []float32) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+func decodeRef(dst []float32, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}
+
+func TestEncodeDecodeUnrolledMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	special := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1,
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		math.SmallestNonzeroFloat32, math.MaxFloat32,
+	}
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 31, 33, 1000} {
+		src := make([]float32, n)
+		for i := range src {
+			if i < len(special) {
+				src[i] = special[i]
+			} else {
+				src[i] = float32(rng.NormFloat64())
+			}
+		}
+		want := make([]byte, 4*n)
+		encodeRef(want, src)
+		got := make([]byte, 4*n)
+		EncodeFloat32s(got, src)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: encode byte %d = %#x, want %#x", n, i, got[i], want[i])
+			}
+		}
+		wantF := make([]float32, n)
+		decodeRef(wantF, want)
+		gotF := make([]float32, n)
+		DecodeFloat32s(gotF, want)
+		for i := range wantF {
+			if math.Float32bits(gotF[i]) != math.Float32bits(wantF[i]) {
+				t.Fatalf("n=%d: decode elem %d = %x, want %x (bit pattern)", n, i,
+					math.Float32bits(gotF[i]), math.Float32bits(wantF[i]))
+			}
+		}
+	}
+}
+
+func benchSizes() []int { return []int{256, 16384} }
+
+func BenchmarkEncodeFloat32s(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(sizeName(n), func(b *testing.B) {
+			src := make([]float32, n)
+			for i := range src {
+				src[i] = float32(i) * 0.37
+			}
+			dst := make([]byte, 4*n)
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				EncodeFloat32s(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeFloat32s(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(sizeName(n), func(b *testing.B) {
+			src := make([]float32, n)
+			for i := range src {
+				src[i] = float32(i) * 0.37
+			}
+			payload := make([]byte, 4*n)
+			EncodeFloat32s(payload, src)
+			dst := make([]float32, n)
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				DecodeFloat32s(dst, payload)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1024 {
+		return strconv.Itoa(n/1024) + "Ki"
+	}
+	return strconv.Itoa(n)
+}

@@ -47,12 +47,31 @@ type latencyTransport struct {
 	mu   sync.Mutex // serializes this rank's egress
 }
 
-// Send implements Transport.
-func (t *latencyTransport) Send(dst int, ctx uint64, tag int, data []byte) error {
-	if d := t.link.Delay(len(data)); d > 0 {
+// charge occupies this rank's egress link for the wall time an n-byte
+// message takes — the single place the link model is applied, so copying and
+// ownership-transfer sends always pay identical cost.
+func (t *latencyTransport) charge(n int) {
+	if d := t.link.Delay(n); d > 0 {
 		t.mu.Lock()
 		time.Sleep(d)
 		t.mu.Unlock()
 	}
+}
+
+// Send implements Transport.
+func (t *latencyTransport) Send(dst int, ctx uint64, tag int, data []byte) error {
+	t.charge(len(data))
 	return t.Transport.Send(dst, ctx, tag, data)
 }
+
+// SendOwned implements Transport, charging the same egress delay as Send.
+// (Without this override the embedded transport's zero-delay SendOwned would
+// leak through and make pooled sends free.)
+func (t *latencyTransport) SendOwned(dst int, ctx uint64, tag int, data []byte) error {
+	t.charge(len(data))
+	return t.Transport.SendOwned(dst, ctx, tag, data)
+}
+
+// sendNeverBlocks overrides the embedded transport's promotion: a latency
+// send occupies the caller for the link delay, so Isend must stay async.
+func (t *latencyTransport) sendNeverBlocks() bool { return false }

@@ -4,16 +4,42 @@ import (
 	"sync"
 )
 
+// msgQueue is one (src, ctx, tag) FIFO. It is a sliding window over items:
+// pop advances head, and when the queue drains the slice is reset to reuse
+// its capacity — steady-state traffic on a recurring key never allocates.
+type msgQueue struct {
+	items [][]byte
+	head  int
+}
+
+func (q *msgQueue) push(data []byte) { q.items = append(q.items, data) }
+
+func (q *msgQueue) pop() ([]byte, bool) {
+	if q.head == len(q.items) {
+		return nil, false
+	}
+	msg := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return msg, true
+}
+
 // mailbox holds undelivered messages for one rank, matched by (src, ctx, tag).
+// Queue entries persist after draining (keys recur across steps: collective
+// tags cycle in fixed bands), keeping put/get allocation-free in steady state.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[msgKey][][]byte
+	queues map[msgKey]*msgQueue
 	closed bool
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{queues: make(map[msgKey][][]byte)}
+	m := &mailbox{queues: make(map[msgKey]*msgQueue)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -24,7 +50,12 @@ func (m *mailbox) put(k msgKey, data []byte) error {
 	if m.closed {
 		return ErrClosed
 	}
-	m.queues[k] = append(m.queues[k], data)
+	q := m.queues[k]
+	if q == nil {
+		q = &msgQueue{}
+		m.queues[k] = q
+	}
+	q.push(data)
 	m.cond.Broadcast()
 	return nil
 }
@@ -33,20 +64,32 @@ func (m *mailbox) get(k msgKey) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		if q := m.queues[k]; len(q) > 0 {
-			msg := q[0]
-			if len(q) == 1 {
-				delete(m.queues, k)
-			} else {
-				m.queues[k] = q[1:]
+		if q := m.queues[k]; q != nil {
+			if msg, ok := q.pop(); ok {
+				return msg, nil
 			}
-			return msg, nil
 		}
 		if m.closed {
 			return nil, ErrClosed
 		}
 		m.cond.Wait()
 	}
+}
+
+// tryGet is get without blocking; ok reports whether a message was available
+// (or the mailbox is closed, in which case err is set).
+func (m *mailbox) tryGet(k msgKey) (data []byte, ok bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q := m.queues[k]; q != nil {
+		if msg, found := q.pop(); found {
+			return msg, true, nil
+		}
+	}
+	if m.closed {
+		return nil, true, ErrClosed
+	}
+	return nil, false, nil
 }
 
 func (m *mailbox) close() {
@@ -132,7 +175,9 @@ func (w *World) Run(fn func(c *Comm) error) error {
 }
 
 // memTransport delivers messages by appending copies to the destination
-// mailbox; Send is buffered and never blocks on the receiver.
+// mailbox; Send is buffered and never blocks on the receiver. Copies come
+// from the shared buffer pool, and SendOwned skips the copy entirely: the
+// sender's pooled buffer itself travels to the receiver, which releases it.
 type memTransport struct {
 	world *World
 	rank  int
@@ -140,15 +185,37 @@ type memTransport struct {
 
 // Send implements Transport.
 func (t *memTransport) Send(dst int, ctx uint64, tag int, data []byte) error {
-	cp := make([]byte, len(data))
+	cp := GetBytes(len(data))
 	copy(cp, data)
-	return t.world.boxes[dst].put(msgKey{src: t.rank, ctx: ctx, tag: tag}, cp)
+	if err := t.world.boxes[dst].put(msgKey{src: t.rank, ctx: ctx, tag: tag}, cp); err != nil {
+		PutBytes(cp)
+		return err
+	}
+	return nil
+}
+
+// SendOwned implements Transport: the buffer is delivered as-is (zero copy)
+// and ownership passes through the mailbox to the receiver.
+func (t *memTransport) SendOwned(dst int, ctx uint64, tag int, data []byte) error {
+	if err := t.world.boxes[dst].put(msgKey{src: t.rank, ctx: ctx, tag: tag}, data); err != nil {
+		PutBytes(data)
+		return err
+	}
+	return nil
 }
 
 // Recv implements Transport.
 func (t *memTransport) Recv(src int, ctx uint64, tag int) ([]byte, error) {
 	return t.world.boxes[t.rank].get(msgKey{src: src, ctx: ctx, tag: tag})
 }
+
+// TryRecv implements Transport.
+func (t *memTransport) TryRecv(src int, ctx uint64, tag int) ([]byte, bool, error) {
+	return t.world.boxes[t.rank].tryGet(msgKey{src: src, ctx: ctx, tag: tag})
+}
+
+// sendNeverBlocks implements nonBlockingSender: mailbox delivery is buffered.
+func (t *memTransport) sendNeverBlocks() bool { return true }
 
 // NumRanks implements Transport.
 func (t *memTransport) NumRanks() int { return len(t.world.boxes) }

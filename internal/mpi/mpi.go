@@ -48,12 +48,28 @@ type msgKey struct {
 }
 
 // Transport moves byte messages between global ranks. Send must not retain
-// data after returning; Recv blocks until a matching message arrives.
+// data after returning; Recv blocks until a matching message arrives and
+// returns a buffer the caller owns (release with PutBytes when done).
 type Transport interface {
 	Send(dst int, ctx uint64, tag int, data []byte) error
+	// SendOwned is Send with ownership transfer: the transport consumes
+	// data — delivering the buffer itself or releasing it to the pool — and
+	// the caller must not touch it afterwards. data should come from
+	// GetBytes so the receive side's release recycles it.
+	SendOwned(dst int, ctx uint64, tag int, data []byte) error
 	Recv(src int, ctx uint64, tag int) ([]byte, error)
+	// TryRecv is a non-blocking Recv: ok reports whether a message (or a
+	// terminal transport error) was available.
+	TryRecv(src int, ctx uint64, tag int) (data []byte, ok bool, err error)
 	// NumRanks returns the number of global ranks in the world.
 	NumRanks() int
+}
+
+// nonBlockingSender marks transports whose Send enqueues without blocking on
+// the receiver or the wire; Isend completes such sends inline instead of
+// spawning a goroutine.
+type nonBlockingSender interface {
+	sendNeverBlocks() bool
 }
 
 // Comm is a communicator: an ordered group of ranks with an isolated message
@@ -102,8 +118,23 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	return c.tr.Send(c.group[dst], c.ctx, tag, data)
 }
 
+// SendOwned delivers data like Send but transfers ownership of the buffer to
+// the transport: no defensive copy is made, and the caller must not reuse
+// data afterwards. Pair with GetBytes for an allocation-free send.
+func (c *Comm) SendOwned(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= len(c.group) {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, len(c.group))
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return c.tr.SendOwned(c.group[dst], c.ctx, tag, data)
+}
+
 // Recv blocks until a message with the given source rank and tag arrives and
-// returns its payload.
+// returns its payload. The receiver owns the returned buffer; releasing it
+// with PutBytes after decoding keeps the hot path allocation-free (keeping
+// it is also fine — it is then simply garbage collected).
 func (c *Comm) Recv(src, tag int) ([]byte, error) {
 	if src < 0 || src >= len(c.group) {
 		return nil, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, len(c.group))
@@ -111,9 +142,13 @@ func (c *Comm) Recv(src, tag int) ([]byte, error) {
 	return c.tr.Recv(c.group[src], c.ctx, tag)
 }
 
-// SendFloats sends a float32 slice (little-endian encoded).
+// SendFloats sends a float32 slice (little-endian encoded). The encode goes
+// through a pooled buffer handed off to the transport, so steady state does
+// not allocate.
 func (c *Comm) SendFloats(dst, tag int, data []float32) error {
-	return c.Send(dst, tag, Float32sToBytes(data))
+	b := GetBytes(4 * len(data))
+	EncodeFloat32s(b, data)
+	return c.SendOwned(dst, tag, b)
 }
 
 // RecvFloats receives a float32 slice sent with SendFloats.
@@ -123,6 +158,23 @@ func (c *Comm) RecvFloats(src, tag int) ([]float32, error) {
 		return nil, err
 	}
 	return BytesToFloat32s(b)
+}
+
+// RecvFloatsInto receives a message sent with SendFloats, decodes it into
+// dst, and releases the transport buffer — the allocation-free counterpart
+// of RecvFloats. The payload must describe exactly len(dst) floats.
+func (c *Comm) RecvFloatsInto(dst []float32, src, tag int) error {
+	b, err := c.Recv(src, tag)
+	if err != nil {
+		return err
+	}
+	if len(b) != 4*len(dst) {
+		PutBytes(b)
+		return fmt.Errorf("mpi: float payload %d bytes, want %d", len(b), 4*len(dst))
+	}
+	DecodeFloat32s(dst, b)
+	PutBytes(b)
+	return nil
 }
 
 // Sub collectively creates a sub-communicator containing the given
@@ -175,9 +227,26 @@ func Float32sToBytes(src []float32) []byte {
 }
 
 // EncodeFloat32s encodes src into dst, which must be at least 4*len(src).
+// The body is unrolled 8 wide with explicit sub-slices so the compiler hoists
+// the bounds checks out of each group — byte conversion must not become the
+// bottleneck of the pooled communication path.
 func EncodeFloat32s(dst []byte, src []float32) {
-	for i, v := range src {
-		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[4*i : 4*i+32 : 4*i+32]
+		binary.LittleEndian.PutUint32(d[0:4], math.Float32bits(s[0]))
+		binary.LittleEndian.PutUint32(d[4:8], math.Float32bits(s[1]))
+		binary.LittleEndian.PutUint32(d[8:12], math.Float32bits(s[2]))
+		binary.LittleEndian.PutUint32(d[12:16], math.Float32bits(s[3]))
+		binary.LittleEndian.PutUint32(d[16:20], math.Float32bits(s[4]))
+		binary.LittleEndian.PutUint32(d[20:24], math.Float32bits(s[5]))
+		binary.LittleEndian.PutUint32(d[24:28], math.Float32bits(s[6]))
+		binary.LittleEndian.PutUint32(d[28:32], math.Float32bits(s[7]))
+	}
+	for ; i < n; i++ {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(src[i]))
 	}
 }
 
@@ -192,8 +261,23 @@ func BytesToFloat32s(b []byte) ([]float32, error) {
 }
 
 // DecodeFloat32s decodes b into dst, which must hold len(b)/4 floats.
+// Unrolled 8 wide, mirroring EncodeFloat32s.
 func DecodeFloat32s(dst []float32, b []byte) {
-	for i := range dst {
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := b[4*i : 4*i+32 : 4*i+32]
+		d[0] = math.Float32frombits(binary.LittleEndian.Uint32(s[0:4]))
+		d[1] = math.Float32frombits(binary.LittleEndian.Uint32(s[4:8]))
+		d[2] = math.Float32frombits(binary.LittleEndian.Uint32(s[8:12]))
+		d[3] = math.Float32frombits(binary.LittleEndian.Uint32(s[12:16]))
+		d[4] = math.Float32frombits(binary.LittleEndian.Uint32(s[16:20]))
+		d[5] = math.Float32frombits(binary.LittleEndian.Uint32(s[20:24]))
+		d[6] = math.Float32frombits(binary.LittleEndian.Uint32(s[24:28]))
+		d[7] = math.Float32frombits(binary.LittleEndian.Uint32(s[28:32]))
+	}
+	for ; i < n; i++ {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
 	}
 }

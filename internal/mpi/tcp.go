@@ -83,11 +83,13 @@ func (w *TCPWorld) readLoop(conn net.Conn) {
 		ctx := binary.LittleEndian.Uint64(hdr[4:])
 		tag := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
 		n := binary.LittleEndian.Uint32(hdr[16:])
-		payload := make([]byte, n)
+		payload := GetBytes(int(n))
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			PutBytes(payload)
 			return
 		}
 		if w.box.put(msgKey{src: src, ctx: ctx, tag: tag}, payload) != nil {
+			PutBytes(payload)
 			return
 		}
 	}
@@ -105,26 +107,47 @@ func (w *TCPWorld) Comm() (*Comm, error) {
 // Send implements Transport.
 func (w *TCPWorld) Send(dst int, ctx uint64, tag int, data []byte) error {
 	if dst == w.rank {
-		cp := make([]byte, len(data))
+		cp := GetBytes(len(data))
 		copy(cp, data)
-		return w.box.put(msgKey{src: w.rank, ctx: ctx, tag: tag}, cp)
+		if err := w.box.put(msgKey{src: w.rank, ctx: ctx, tag: tag}, cp); err != nil {
+			PutBytes(cp)
+			return err
+		}
+		return nil
 	}
 	conn, err := w.conn(dst)
 	if err != nil {
 		return err
 	}
-	frame := make([]byte, tcpFrameHeader+len(data))
+	frame := GetBytes(tcpFrameHeader + len(data))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(w.rank))
 	binary.LittleEndian.PutUint64(frame[4:], ctx)
 	binary.LittleEndian.PutUint32(frame[12:], uint32(tag))
 	binary.LittleEndian.PutUint32(frame[16:], uint32(len(data)))
 	copy(frame[tcpFrameHeader:], data)
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, err := conn.Write(frame); err != nil {
+	_, err = conn.Write(frame)
+	w.mu.Unlock()
+	PutBytes(frame)
+	if err != nil {
 		return fmt.Errorf("mpi: tcp send to rank %d: %w", dst, err)
 	}
 	return nil
+}
+
+// SendOwned implements Transport: over TCP the buffer is serialized into the
+// frame and then released to the pool (self-sends deliver it directly).
+func (w *TCPWorld) SendOwned(dst int, ctx uint64, tag int, data []byte) error {
+	if dst == w.rank {
+		if err := w.box.put(msgKey{src: w.rank, ctx: ctx, tag: tag}, data); err != nil {
+			PutBytes(data)
+			return err
+		}
+		return nil
+	}
+	err := w.Send(dst, ctx, tag, data)
+	PutBytes(data)
+	return err
 }
 
 func (w *TCPWorld) conn(dst int) (net.Conn, error) {
@@ -144,6 +167,11 @@ func (w *TCPWorld) conn(dst int) (net.Conn, error) {
 // Recv implements Transport.
 func (w *TCPWorld) Recv(src int, ctx uint64, tag int) ([]byte, error) {
 	return w.box.get(msgKey{src: src, ctx: ctx, tag: tag})
+}
+
+// TryRecv implements Transport.
+func (w *TCPWorld) TryRecv(src int, ctx uint64, tag int) ([]byte, bool, error) {
+	return w.box.tryGet(msgKey{src: src, ctx: ctx, tag: tag})
 }
 
 // NumRanks implements Transport.
