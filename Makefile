@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench allocs overlap lint clean
+.PHONY: all build test race bench allocs overlap shard lint clean
 
 all: lint build test
 
@@ -31,6 +31,11 @@ allocs:
 # comm-heavy job, with the JSON report benchtool uploads as an artifact.
 overlap:
 	$(GO) run ./cmd/benchtool -overlap -learners 2 -devices 1 -steps 10 -json overlap.json
+
+# The ZeRO-1 sharded-optimizer workload CI runs: replicated vs sharded state,
+# per-rank optimizer bytes, step time, and the bitwise equivalence check.
+shard:
+	$(GO) run ./cmd/benchtool -shard -learners 4 -devices 1 -steps 10 -json shard.json
 
 lint:
 	$(GO) vet ./...

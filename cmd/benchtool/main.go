@@ -43,12 +43,19 @@ func main() {
 	devices := flag.Int("devices", 2, "devices per learner for the overlap workload")
 	jsonPath := flag.String("json", "", "write the overlap/allocs workload report to this JSON file")
 	allocs := flag.Bool("allocs", false, "run the allocation-profile workload (allocs/op, bytes/op, GC pauses per step)")
+	shard := flag.Bool("shard", false, "run the ZeRO-1 sharded-optimizer workload (replicated vs sharded: per-rank optimizer-state bytes, step time, bitwise equivalence)")
 	allocsBaseline := flag.String("allocs-baseline", "", "compare the -allocs run against this committed baseline JSON and fail on regression")
 	allocsMaxRegress := flag.Float64("allocs-max-regress", 2.0, "allowed allocs/op growth factor vs the -allocs-baseline")
 	flag.Parse()
 
 	if *allocs {
 		if err := allocsWorkload(*compressAlg, *topkRatio, *learners, *devices, *steps, *jsonPath, *allocsBaseline, *allocsMaxRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shard {
+		if err := shardWorkload(*compressAlg, *topkRatio, *learners, *devices, *steps, *jsonPath); err != nil {
 			log.Fatal(err)
 		}
 		return

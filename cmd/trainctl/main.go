@@ -48,6 +48,7 @@ func main() {
 		errFeedback  = flag.Bool("error-feedback", true, "accumulate compression error into the next step (lossy codecs)")
 		overlap      = flag.Bool("overlap", false, "reactive pipeline: overlap backward compute with the bucketed inter-node allreduce (bitwise identical to the phased bucketed path, i.e. the same -compress config with codec none when unset)")
 		inFlight     = flag.Int("overlap-inflight", 0, "max gradient buckets in flight with -overlap (0 = default 8)")
+		shardOpt     = flag.Bool("shard-optimizer", false, "ZeRO-1 sharded optimizer state: reduce-scatter gradients to shard owners, update only this rank's parameter shard, allgather updated params (bitwise identical to the replicated path; composes with -compress and -overlap)")
 	)
 	flag.Parse()
 
@@ -82,6 +83,7 @@ func main() {
 			},
 			Overlap:         *overlap,
 			OverlapInFlight: *inFlight,
+			ShardOptimizer:  *shardOpt,
 		},
 	}
 
@@ -177,6 +179,13 @@ func main() {
 		fmt.Printf("learner 0 phase breakdown (%s):\n", mode)
 		fmt.Printf("  data %5.1f%%  compute %5.1f%%  intra-node %5.1f%%  allreduce %5.1f%%  update %5.1f%%\n",
 			100*ph.Data/total, 100*ph.Compute/total, 100*ph.IntraNode/total, 100*ph.AllReduce/total, 100*ph.Update/total)
+	}
+	if *shardOpt {
+		fmt.Printf("sharded optimizer state (ZeRO-1): per-rank bytes:")
+		for r, b := range res.OptStateBytes {
+			fmt.Printf(" rank%d=%d", r, b)
+		}
+		fmt.Println()
 	}
 	if cs := res.CommStats[0]; cs.BytesSent > 0 || cs.Buckets > 0 {
 		codec := *compressAlg

@@ -69,7 +69,6 @@ const (
 	tagBase       = mpi.MaxUserTag - 4096
 	tagRingReduce = tagBase + 0
 	tagRingBcast  = tagBase + 1
-	tagBucket     = tagBase + 2
 	tagRD         = tagBase + 3
 	tagRabFold    = tagBase + 4
 	tagRabRS      = tagBase + 5
@@ -168,49 +167,18 @@ func pipelinedRing(c *mpi.Comm, data []float32, opts Options) error {
 	return nil
 }
 
-// bucketRing is the classic bandwidth-optimal ring allreduce
-// (reduce-scatter around the ring, then allgather around the ring), included
-// for the ablation benches.
+// bucketRing is the classic bandwidth-optimal ring allreduce, written as
+// what it is: a ring reduce-scatter (after which rank r owns the global sum
+// of shard r) composed with a ring allgather that circulates the completed
+// shards. The two halves are the package's first-class primitives
+// (collectives.go); callers that want to stop at the reduce-scatter boundary
+// call them directly.
 func bucketRing(c *mpi.Comm, data []float32) error {
-	n := c.Size()
-	rank := c.Rank()
-	right := (rank + 1) % n
-	left := (rank - 1 + n) % n
-	chunk := func(i int) []float32 {
-		lo, hi := ChunkBounds(len(data), n, ((i%n)+n)%n)
-		return data[lo:hi]
+	bounds := UniformBounds(len(data), c.Size())
+	if err := rsRing(c, data, bounds); err != nil {
+		return err
 	}
-	// Reduce-scatter: after n-1 steps, rank owns the full sum of chunk
-	// (rank+1) mod n.
-	tmp := mpi.GetFloats(len(data)/n + 1)
-	defer mpi.PutFloats(tmp)
-	for s := 0; s < n-1; s++ {
-		sendIdx := rank - s
-		recvIdx := rank - s - 1
-		if err := c.SendFloats(right, tagBucket+s, chunk(sendIdx)); err != nil {
-			return err
-		}
-		dst := chunk(recvIdx)
-		part := tmp[:len(dst)]
-		if err := c.RecvFloatsInto(part, left, tagBucket+s); err != nil {
-			return err
-		}
-		for i, v := range part {
-			dst[i] += v
-		}
-	}
-	// Allgather: circulate the completed chunks.
-	for s := 0; s < n-1; s++ {
-		sendIdx := rank - s + 1
-		recvIdx := rank - s
-		if err := c.SendFloats(right, tagBucket+n+s, chunk(sendIdx)); err != nil {
-			return err
-		}
-		if err := c.RecvFloatsInto(chunk(recvIdx), left, tagBucket+n+s); err != nil {
-			return err
-		}
-	}
-	return nil
+	return agRing(c, data, bounds)
 }
 
 // recursiveDoubling exchanges and adds full vectors over log2(p) rounds.

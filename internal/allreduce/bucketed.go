@@ -16,7 +16,7 @@ const (
 	compressedTagSpan = 1024
 )
 
-// CompressedOptions tunes BucketedAllReduce.
+// CompressedOptions tunes BucketedAllReduce and BucketedReduceScatter.
 type CompressedOptions struct {
 	// BucketFloats is the bucket size in elements (default 16384).
 	BucketFloats int
@@ -24,6 +24,10 @@ type CompressedOptions struct {
 	// of this rank's own payloads — the values the wire actually carried —
 	// which error feedback needs to compute its residual.
 	SelfDecoded []float32
+	// ShardBounds is the shard layout for BucketedReduceScatter (see
+	// StreamOptions.ShardBounds); nil means UniformBounds. It must be nil
+	// for BucketedAllReduce.
+	ShardBounds []int
 }
 
 // CompressedStats counts the traffic of one or more BucketedAllReduce calls.
@@ -59,9 +63,10 @@ func (s CompressedStats) Ratio() float64 {
 type bucketJob struct {
 	idx      int
 	lo, hi   int
+	owned    bool // this rank reduces the bucket (always true in allreduce mode)
 	payload  []byte
 	sendReqs []*mpi.Request
-	recvReqs []*mpi.Request // indexed by communicator rank; nil at own rank
+	recvReqs []*mpi.Request // indexed by communicator rank; nil at own rank / non-owner
 }
 
 // BucketedAllReduce sums data across every rank of c through the given
@@ -81,6 +86,40 @@ type bucketJob struct {
 // values: the compression error is accounted locally via SelfDecoded and,
 // optionally, error feedback.)
 func BucketedAllReduce(c *mpi.Comm, data []float32, codec compress.Codec, opts CompressedOptions) (CompressedStats, error) {
+	if opts.ShardBounds != nil {
+		return CompressedStats{}, fmt.Errorf("allreduce: ShardBounds set; use BucketedReduceScatter")
+	}
+	return bucketedExchange(c, data, codec, opts)
+}
+
+// BucketedReduceScatter is BucketedAllReduce stopped at the reduce-scatter
+// boundary: each bucket's compressed payload travels only to the rank(s)
+// whose shard [ShardBounds[r], ShardBounds[r+1]) overlaps the bucket, and on
+// return data holds the global sum over every bucket overlapping this rank's
+// shard (whole buckets, so the reduced region may extend past the shard to
+// the enclosing bucket edges). Other ranges of data are untouched. A bucket's
+// sum is accumulated in rank order from decoded payloads — bitwise identical
+// to the same bucket under BucketedAllReduce — which is what lets a sharded
+// optimizer step reproduce the replicated update bit for bit.
+//
+// ShardBounds nil defaults to the uniform layout. Wire traffic drops from
+// (size-1) payload sends per bucket per rank to one send per overlapping
+// owner (usually one, two when a bucket straddles a shard edge).
+func BucketedReduceScatter(c *mpi.Comm, data []float32, codec compress.Codec, opts CompressedOptions) (CompressedStats, error) {
+	if opts.ShardBounds == nil {
+		opts.ShardBounds = UniformBounds(len(data), c.Size())
+	}
+	if err := checkBounds(c, opts.ShardBounds, len(data)); err != nil {
+		return CompressedStats{}, err
+	}
+	return bucketedExchange(c, data, codec, opts)
+}
+
+// bucketedExchange is the shared phased driver over a Stream: split data
+// into fixed-size buckets, submit them all, and copy reduced sums back as
+// results land (nil Sums — unowned reduce-scatter buckets — only mark the
+// bucket's sends complete).
+func bucketedExchange(c *mpi.Comm, data []float32, codec compress.Codec, opts CompressedOptions) (CompressedStats, error) {
 	bf := opts.BucketFloats
 	if bf <= 0 {
 		bf = 16384
@@ -92,7 +131,7 @@ func BucketedAllReduce(c *mpi.Comm, data []float32, codec compress.Codec, opts C
 		return CompressedStats{}, nil
 	}
 	nb := (len(data) + bf - 1) / bf
-	s := NewStream(c, codec, StreamOptions{SelfDecoded: opts.SelfDecoded, MaxInFlight: 4})
+	s := NewStream(c, codec, StreamOptions{SelfDecoded: opts.SelfDecoded, ShardBounds: opts.ShardBounds, MaxInFlight: 4})
 	go func() {
 		for b := 0; b < nb; b++ {
 			lo, hi := b*bf, min(b*bf+bf, len(data))
@@ -101,7 +140,7 @@ func BucketedAllReduce(c *mpi.Comm, data []float32, codec compress.Codec, opts C
 		s.CloseSend()
 	}()
 	for res := range s.Results() {
-		if res.Err == nil {
+		if res.Err == nil && res.Sum != nil {
 			copy(data[res.Lo:res.Hi], res.Sum)
 		}
 		res.Release()

@@ -1,0 +1,267 @@
+package allreduce
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// This file is the composable collectives layer: ReduceScatter and AllGather
+// as first-class primitives over an explicit shard layout. Every ring-style
+// allreduce *is* a reduce-scatter followed by an allgather; exposing the two
+// halves lets callers stop at the reduce-scatter boundary — the enabler for
+// ZeRO-1-style sharded optimization, where each rank applies only its shard's
+// update and the updated parameters are allgathered back.
+//
+// Shard layout: a bounds slice of length Size+1 with bounds[0] == 0,
+// bounds[Size] == len(data), nondecreasing; rank r owns the contiguous
+// element range [bounds[r], bounds[r+1]). Pass nil for the uniform
+// ChunkBounds layout. Empty shards are legal (more ranks than elements, or
+// param-aligned layouts that starve a rank).
+//
+// Buffer discipline follows the PR 3 ownership rules: receive scratch comes
+// from the shared mpi pool and is released before return; sends go through
+// SendFloats' pooled encode; nothing on the steady-state path allocates.
+
+// Variant selects a collective's communication pattern.
+type Variant string
+
+const (
+	// VarRing is the bandwidth-optimal ring: n-1 steps, each rank moving one
+	// shard-sized block per step. Works for any rank count.
+	VarRing Variant = "ring"
+	// VarRabenseifner is recursive halving (reduce-scatter) / recursive
+	// doubling (allgather): log2(n) rounds of pairwise exchange. Requires a
+	// power-of-two rank count; other counts fall back to the ring.
+	VarRabenseifner Variant = "rabenseifner"
+)
+
+// Collective tag bases inside the package's reserved band (see allreduce.go).
+// Ring variants use base+step, halving/doubling use base+round.
+const (
+	tagRScoll = tagBase + 2048
+	tagAGcoll = tagBase + 2560
+)
+
+// UniformBounds returns the canonical even shard layout: bounds[i] is
+// ChunkBounds' i-th cut of length over ranks chunks.
+func UniformBounds(length, ranks int) []int {
+	b := make([]int, ranks+1)
+	for i := 0; i < ranks; i++ {
+		b[i], b[i+1] = ChunkBounds(length, ranks, i)
+	}
+	return b
+}
+
+// checkBounds validates a shard layout against the communicator and vector.
+func checkBounds(c *mpi.Comm, bounds []int, length int) error {
+	if len(bounds) != c.Size()+1 {
+		return fmt.Errorf("allreduce: %d bounds for %d ranks (want size+1)", len(bounds), c.Size())
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != length {
+		return fmt.Errorf("allreduce: bounds [%d..%d] do not cover vector of %d", bounds[0], bounds[len(bounds)-1], length)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return fmt.Errorf("allreduce: bounds decrease at %d: %v", i, bounds[i])
+		}
+	}
+	return nil
+}
+
+// ReduceScatter sums data elementwise across every rank of c, leaving rank
+// r's shard [bounds[r], bounds[r+1]) of the global sum in that range of data
+// on rank r. The rest of data is scratch on return (partially reduced values,
+// not the global sum). bounds nil means UniformBounds. A single-rank
+// communicator is a no-op (its shard is the whole vector).
+func ReduceScatter(c *mpi.Comm, data []float32, bounds []int, v Variant) error {
+	n := c.Size()
+	if bounds == nil {
+		bounds = UniformBounds(len(data), n)
+	}
+	if err := checkBounds(c, bounds, len(data)); err != nil {
+		return err
+	}
+	if n == 1 {
+		return nil
+	}
+	switch v {
+	case VarRing, "":
+		return rsRing(c, data, bounds)
+	case VarRabenseifner:
+		if n&(n-1) == 0 {
+			return rsHalving(c, data, bounds)
+		}
+		return rsRing(c, data, bounds)
+	default:
+		return fmt.Errorf("allreduce: unknown reduce-scatter variant %q", v)
+	}
+}
+
+// AllGather distributes each rank's shard [bounds[r], bounds[r+1]) of data to
+// every rank: on return the whole vector is identical everywhere, assembled
+// from bitwise copies of each owner's shard. bounds nil means UniformBounds.
+func AllGather(c *mpi.Comm, data []float32, bounds []int, v Variant) error {
+	n := c.Size()
+	if bounds == nil {
+		bounds = UniformBounds(len(data), n)
+	}
+	if err := checkBounds(c, bounds, len(data)); err != nil {
+		return err
+	}
+	if n == 1 {
+		return nil
+	}
+	switch v {
+	case VarRing, "":
+		return agRing(c, data, bounds)
+	case VarRabenseifner:
+		if n&(n-1) == 0 {
+			return agDoubling(c, data, bounds)
+		}
+		return agRing(c, data, bounds)
+	default:
+		return fmt.Errorf("allreduce: unknown allgather variant %q", v)
+	}
+}
+
+// maxShard returns the widest shard in the layout (receive-scratch size).
+func maxShard(bounds []int) int {
+	w := 0
+	for i := 1; i < len(bounds); i++ {
+		if s := bounds[i] - bounds[i-1]; s > w {
+			w = s
+		}
+	}
+	return w
+}
+
+// rsRing is the ring reduce-scatter: at step s, rank sends shard
+// (rank-1-s) mod n to its right neighbour and accumulates shard
+// (rank-2-s) mod n from its left one; after n-1 steps rank owns the full sum
+// of shard rank. Shard r's sum is accumulated starting from rank r+1 around
+// the ring, so summation order differs per shard (and from rank order).
+func rsRing(c *mpi.Comm, data []float32, bounds []int) error {
+	n := c.Size()
+	rank := c.Rank()
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	shard := func(i int) []float32 {
+		i = ((i % n) + n) % n
+		return data[bounds[i]:bounds[i+1]]
+	}
+	tmp := mpi.GetFloats(maxShard(bounds))
+	defer mpi.PutFloats(tmp)
+	for s := 0; s < n-1; s++ {
+		if err := c.SendFloats(right, tagRScoll+s, shard(rank-1-s)); err != nil {
+			return err
+		}
+		dst := shard(rank - 2 - s)
+		part := tmp[:len(dst)]
+		if err := c.RecvFloatsInto(part, left, tagRScoll+s); err != nil {
+			return fmt.Errorf("allreduce: ring reduce-scatter step %d: %w", s, err)
+		}
+		for i, v := range part {
+			dst[i] += v
+		}
+	}
+	return nil
+}
+
+// agRing is the ring allgather: at step s, rank forwards shard (rank-s) mod n
+// to its right neighbour and receives shard (rank-s-1) mod n from its left
+// one, so every shard circulates the whole ring in n-1 steps.
+func agRing(c *mpi.Comm, data []float32, bounds []int) error {
+	n := c.Size()
+	rank := c.Rank()
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	shard := func(i int) []float32 {
+		i = ((i % n) + n) % n
+		return data[bounds[i]:bounds[i+1]]
+	}
+	for s := 0; s < n-1; s++ {
+		if err := c.SendFloats(right, tagAGcoll+s, shard(rank-s)); err != nil {
+			return err
+		}
+		if err := c.RecvFloatsInto(shard(rank-s-1), left, tagAGcoll+s); err != nil {
+			return fmt.Errorf("allreduce: ring allgather step %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// rsHalving is Rabenseifner's recursive-halving reduce-scatter over a
+// power-of-two group: each round exchanges the half of the current rank
+// group's data interval the rank is NOT responsible for with a partner at
+// decreasing distance, halving the interval until only the rank's own shard
+// remains. len(bounds)-1 ranks participate; group splits land on shard
+// boundaries, so arbitrary (including empty) shards are supported.
+func rsHalving(c *mpi.Comm, data []float32, bounds []int) error {
+	p2 := len(bounds) - 1
+	rank := c.Rank()
+	if rank >= p2 {
+		return fmt.Errorf("allreduce: rank %d outside halving group of %d", rank, p2)
+	}
+	glo, ghi := 0, p2
+	round := 0
+	for half := p2 / 2; half >= 1; half /= 2 {
+		mid := glo + (ghi-glo)/2
+		partner := rank ^ half
+		var keepLo, keepHi, sendLo, sendHi int
+		if rank&half == 0 {
+			keepLo, keepHi = bounds[glo], bounds[mid]
+			sendLo, sendHi = bounds[mid], bounds[ghi]
+			ghi = mid
+		} else {
+			keepLo, keepHi = bounds[mid], bounds[ghi]
+			sendLo, sendHi = bounds[glo], bounds[mid]
+			glo = mid
+		}
+		if err := c.SendFloats(partner, tagRabRS+round, data[sendLo:sendHi]); err != nil {
+			return err
+		}
+		tmp := mpi.GetFloats(keepHi - keepLo)
+		part := tmp[:keepHi-keepLo]
+		err := c.RecvFloatsInto(part, partner, tagRabRS+round)
+		if err == nil {
+			for i, v := range part {
+				data[keepLo+i] += v
+			}
+		}
+		mpi.PutFloats(tmp)
+		if err != nil {
+			return fmt.Errorf("allreduce: recursive halving round %d: %w", round, err)
+		}
+		round++
+	}
+	return nil
+}
+
+// agDoubling is the recursive-doubling allgather over a power-of-two group:
+// in round k each rank holds the merged shards of its aligned 2^k-rank block
+// and swaps blocks with a partner at distance 2^k, doubling coverage per
+// round. Block intervals are derived from bounds on both sides, so no
+// interval headers ride on the wire and every element lands as a bitwise
+// copy of its owner's shard.
+func agDoubling(c *mpi.Comm, data []float32, bounds []int) error {
+	p2 := len(bounds) - 1
+	rank := c.Rank()
+	if rank >= p2 {
+		return fmt.Errorf("allreduce: rank %d outside doubling group of %d", rank, p2)
+	}
+	round := 0
+	for half := 1; half < p2; half <<= 1 {
+		partner := rank ^ half
+		myBlk := rank &^ (half - 1)
+		pBlk := partner &^ (half - 1)
+		if err := c.SendFloats(partner, tagRabAG+round, data[bounds[myBlk]:bounds[myBlk+half]]); err != nil {
+			return err
+		}
+		if err := c.RecvFloatsInto(data[bounds[pBlk]:bounds[pBlk+half]], partner, tagRabAG+round); err != nil {
+			return fmt.Errorf("allreduce: recursive doubling round %d: %w", round, err)
+		}
+		round++
+	}
+	return nil
+}

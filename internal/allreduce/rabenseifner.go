@@ -1,9 +1,6 @@
 package allreduce
 
 import (
-	"encoding/binary"
-	"fmt"
-
 	"repro/internal/mpi"
 )
 
@@ -12,6 +9,11 @@ import (
 // OpenMPI selects for large payloads — the paper's "default OpenMPI"
 // comparison point. Total traffic per rank is ~2·len(data) elements versus
 // the log2(p)·len(data) of recursive doubling.
+//
+// The body is a composition of the package's first-class primitives: fold
+// the non-power-of-two extras into the core, rsHalving over the core's
+// uniform shard layout, agDoubling back out, and fan the result to the
+// extras.
 func rabenseifner(c *mpi.Comm, data []float32) error {
 	n := c.Size()
 	rank := c.Rank()
@@ -42,78 +44,12 @@ func rabenseifner(c *mpi.Comm, data []float32) error {
 		}
 	}
 
-	// Reduce-scatter by recursive halving: each round halves the interval
-	// this rank is responsible for, exchanging the other half with a
-	// partner at decreasing distance.
-	lo, hi := 0, len(data)
-	round := 0
-	rsTmp := mpi.GetFloats((len(data) + 1) / 2)
-	defer mpi.PutFloats(rsTmp)
-	for d := p2 / 2; d >= 1; d /= 2 {
-		partner := rank ^ d
-		mid := lo + (hi-lo)/2
-		var sendLo, sendHi, keepLo, keepHi int
-		if rank&d == 0 {
-			keepLo, keepHi = lo, mid
-			sendLo, sendHi = mid, hi
-		} else {
-			keepLo, keepHi = mid, hi
-			sendLo, sendHi = lo, mid
-		}
-		if err := c.SendFloats(partner, tagRabRS+round, data[sendLo:sendHi]); err != nil {
-			return err
-		}
-		tmp := rsTmp[:keepHi-keepLo]
-		if err := c.RecvFloatsInto(tmp, partner, tagRabRS+round); err != nil {
-			return fmt.Errorf("allreduce: rabenseifner RS: %w", err)
-		}
-		for i, v := range tmp {
-			data[keepLo+i] += v
-		}
-		lo, hi = keepLo, keepHi
-		round++
+	bounds := UniformBounds(len(data), p2)
+	if err := rsHalving(c, data, bounds); err != nil {
+		return err
 	}
-
-	// Allgather by recursive doubling: exchange owned intervals with
-	// partners at increasing distance. Interval bounds ride in a small
-	// header since partners' intervals differ.
-	round = 0
-	for d := 1; d < p2; d <<= 1 {
-		partner := rank ^ d
-		msg := mpi.GetBytes(8 + 4*(hi-lo))
-		binary.LittleEndian.PutUint32(msg[0:], uint32(lo))
-		binary.LittleEndian.PutUint32(msg[4:], uint32(hi))
-		mpi.EncodeFloat32s(msg[8:], data[lo:hi])
-		if err := c.SendOwned(partner, tagRabAG+round, msg); err != nil {
-			return err
-		}
-		b, err := c.Recv(partner, tagRabAG+round)
-		if err != nil {
-			return err
-		}
-		if len(b) < 8 {
-			mpi.PutBytes(b)
-			return fmt.Errorf("allreduce: rabenseifner AG short message (%d bytes)", len(b))
-		}
-		plo := int(binary.LittleEndian.Uint32(b[0:]))
-		phi := int(binary.LittleEndian.Uint32(b[4:]))
-		if phi < plo || phi > len(data) || len(b) != 8+4*(phi-plo) {
-			mpi.PutBytes(b)
-			return fmt.Errorf("allreduce: rabenseifner AG bad interval [%d,%d) with %d bytes", plo, phi, len(b))
-		}
-		mpi.DecodeFloat32s(data[plo:phi], b[8:])
-		mpi.PutBytes(b)
-		// Merge intervals (they are adjacent by construction).
-		if plo < lo {
-			lo = plo
-		}
-		if phi > hi {
-			hi = phi
-		}
-		round++
-	}
-	if lo != 0 || hi != len(data) {
-		return fmt.Errorf("allreduce: rabenseifner finished with partial interval [%d,%d)", lo, hi)
+	if err := agDoubling(c, data, bounds); err != nil {
+		return err
 	}
 
 	// Fan the result back out to the folded extras.

@@ -17,8 +17,20 @@ type StreamOptions struct {
 	// SelfDecoded, when non-nil, receives the decode of this rank's own
 	// payloads at [Lo:Hi) of each bucket — the values the wire actually
 	// carried — which error feedback needs to compute its residual. It must
-	// be long enough to index every submitted bucket's range.
+	// be long enough to index every submitted bucket's range. It is filled
+	// for every submitted bucket even in reduce-scatter mode, where this
+	// rank may not own (and so never sums) the bucket.
 	SelfDecoded []float32
+	// ShardBounds, when non-nil, switches the stream from allreduce to
+	// reduce-scatter: entry r of the length Size+1, nondecreasing,
+	// full-vector-covering slice is the start of rank r's owned element
+	// range [ShardBounds[r], ShardBounds[r+1]). Each bucket's compressed
+	// payload is sent only to the rank(s) whose shard overlaps the bucket,
+	// and only those owners decode and reduce it — in rank order, so an
+	// owner's Sum is bitwise identical to the full-exchange sum of the same
+	// bucket. Buckets this rank does not own surface on Results with a nil
+	// Sum once their sends complete.
+	ShardBounds []int
 }
 
 // BucketResult is one completed bucket: the sum of every rank's decoded
@@ -29,7 +41,9 @@ type BucketResult struct {
 	// Sum is the reduced bucket (length Hi-Lo), accumulated in rank order —
 	// bitwise identical on every rank. The buffer is pooled: consume it and
 	// call Release so the next step reuses it (dropping it is safe but
-	// reintroduces the allocation).
+	// reintroduces the allocation). In reduce-scatter mode Sum is nil on
+	// ranks whose shard does not overlap the bucket (the result then only
+	// reports that the bucket's sends completed).
 	Sum []float32
 	// Err reports a failure for this bucket; Sum is nil when set.
 	Err error
@@ -102,6 +116,19 @@ func NewStream(c *mpi.Comm, codec compress.Codec, opts StreamOptions) *Stream {
 	if opts.MaxInFlight >= compressedTagSpan {
 		opts.MaxInFlight = compressedTagSpan - 1
 	}
+	if sb := opts.ShardBounds; sb != nil {
+		if len(sb) != c.Size()+1 {
+			panic(fmt.Sprintf("allreduce: Stream ShardBounds has %d entries for %d ranks (want size+1)", len(sb), c.Size()))
+		}
+		if sb[0] != 0 {
+			panic(fmt.Sprintf("allreduce: Stream ShardBounds start at %d, want 0 (elements below it would never be reduced)", sb[0]))
+		}
+		for i := 1; i < len(sb); i++ {
+			if sb[i] < sb[i-1] {
+				panic(fmt.Sprintf("allreduce: Stream ShardBounds decrease at %d: %v", i, sb))
+			}
+		}
+	}
 	s := &Stream{
 		c:       c,
 		codec:   codec,
@@ -125,7 +152,19 @@ func (s *Stream) Submit(idx, lo, hi int, data []float32) {
 	if hi-lo != len(data) {
 		panic(fmt.Sprintf("allreduce: Stream.Submit bucket %d range [%d,%d) but %d floats", idx, lo, hi, len(data)))
 	}
+	if sb := s.opts.ShardBounds; sb != nil && hi > sb[len(sb)-1] {
+		panic(fmt.Sprintf("allreduce: Stream.Submit bucket %d range [%d,%d) beyond shard layout end %d (elements above it would never be reduced)",
+			idx, lo, hi, sb[len(sb)-1]))
+	}
 	s.subs <- streamSub{idx: idx, lo: lo, hi: hi, data: data}
+}
+
+// shardOwns reports whether rank r's shard overlaps the bucket [lo, hi).
+// Empty shards own nothing — without the sb[r] < sb[r+1] guard a degenerate
+// boundary point strictly inside a bucket would mark the rank an owner,
+// making every peer ship it payloads for zero owned elements.
+func shardOwns(sb []int, r, lo, hi int) bool {
+	return sb[r] < sb[r+1] && sb[r] < hi && sb[r+1] > lo
 }
 
 // CloseSend declares that no more buckets will be submitted. Results is
@@ -147,10 +186,14 @@ func (s *Stream) Stats() (CompressedStats, error) {
 }
 
 // launch is stage 1+2: compress each submitted bucket and start its
-// non-blocking exchange with every peer, bounded by the in-flight cap.
+// non-blocking exchange, bounded by the in-flight cap. In allreduce mode the
+// exchange is all-to-all; in reduce-scatter mode (ShardBounds set) sends go
+// only to the bucket's shard owners and receives are posted only when this
+// rank is an owner.
 func (s *Stream) launch(inflight chan<- bucketJob) {
 	n := s.c.Size()
 	rank := s.c.Rank()
+	sb := s.opts.ShardBounds
 	for sub := range s.subs {
 		s.slots <- struct{}{}
 		var job bucketJob
@@ -166,12 +209,19 @@ func (s *Stream) launch(inflight chan<- bucketJob) {
 			job.recvReqs = make([]*mpi.Request, n)
 		}
 		job.sendReqs = job.sendReqs[:0]
+		job.owned = sb == nil || shardOwns(sb, rank, job.lo, job.hi)
 		for r := 0; r < n; r++ {
 			if r == rank {
 				continue
 			}
-			job.sendReqs = append(job.sendReqs, s.c.Isend(r, tag, job.payload))
-			job.recvReqs[r] = s.c.Irecv(r, tag)
+			if sb == nil || shardOwns(sb, r, job.lo, job.hi) {
+				job.sendReqs = append(job.sendReqs, s.c.Isend(r, tag, job.payload))
+			}
+			if job.owned {
+				job.recvReqs[r] = s.c.Irecv(r, tag)
+			} else {
+				job.recvReqs[r] = nil
+			}
 		}
 		inflight <- job
 	}
@@ -195,22 +245,33 @@ func (s *Stream) retire(job bucketJob) {
 
 // reduce is stage 3: decode every rank's payload in rank order, sum, and
 // emit the result. Runs on its own goroutine; it alone mutates stats.
+// Non-owned buckets (reduce-scatter mode) skip the reduction: they decode
+// this rank's own payload for SelfDecoded, wait out the sends, and emit a
+// nil-Sum result.
 func (s *Stream) reduce(inflight <-chan bucketJob) {
 	n := s.c.Size()
 	rank := s.c.Rank()
 	var tmp []float32 // decode scratch, reused across buckets (grown on demand)
 	for job := range inflight {
 		width := job.hi - job.lo
-		// Pooled, but zeroed: accumulating into exact +0 keeps the sum
-		// bitwise identical to the historical make-per-bucket path.
-		sum := mpi.GetFloatsZeroed(width)
 		if cap(tmp) < width {
 			tmp = make([]float32, width)
 		}
 		tmp = tmp[:width]
+		if !job.owned {
+			s.finishUnowned(job, tmp)
+			continue
+		}
+		// Pooled, but zeroed: accumulating into exact +0 keeps the sum
+		// bitwise identical to the historical make-per-bucket path.
+		sum := mpi.GetFloatsZeroed(width)
 		payloadLen := len(job.payload)
+		sends := len(job.sendReqs)
 		var jobErr error
 		for r := 0; r < n; r++ {
+			if job.recvReqs[r] == nil && r != rank {
+				continue
+			}
 			var payload []byte
 			release := false
 			if r == rank {
@@ -266,8 +327,8 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 			res.Err = jobErr
 			mpi.PutFloats(sum)
 		} else {
-			s.stats.BytesSent += int64(payloadLen) * int64(n-1)
-			s.stats.RawBytes += int64(4*width) * int64(n-1)
+			s.stats.BytesSent += int64(payloadLen) * int64(sends)
+			s.stats.RawBytes += int64(4*width) * int64(sends)
 			res.Sum = sum
 		}
 		s.retire(job)
@@ -276,4 +337,42 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 	}
 	close(s.results)
 	close(s.done)
+}
+
+// finishUnowned completes a reduce-scatter bucket this rank does not own:
+// decode the rank's own payload for the error-feedback contract, wait for
+// the sends to drain, account the traffic, and emit a nil-Sum result.
+func (s *Stream) finishUnowned(job bucketJob, tmp []float32) {
+	width := job.hi - job.lo
+	var jobErr error
+	if s.opts.SelfDecoded != nil {
+		if err := s.codec.Decompress(tmp, job.payload); err != nil {
+			jobErr = fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err)
+		} else {
+			copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
+		}
+	}
+	if err := mpi.WaitAll(job.sendReqs...); err != nil && jobErr == nil {
+		jobErr = err
+	}
+	for _, req := range job.sendReqs {
+		req.Release()
+	}
+	payloadLen := len(job.payload)
+	sends := len(job.sendReqs)
+	mpi.PutBytes(job.payload)
+	s.stats.Buckets++
+	res := BucketResult{Idx: job.idx, Lo: job.lo, Hi: job.hi}
+	if jobErr != nil {
+		if s.err == nil {
+			s.err = jobErr
+		}
+		res.Err = jobErr
+	} else {
+		s.stats.BytesSent += int64(payloadLen) * int64(sends)
+		s.stats.RawBytes += int64(4*width) * int64(sends)
+	}
+	s.retire(job)
+	s.results <- res
+	<-s.slots
 }

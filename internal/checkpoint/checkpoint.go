@@ -26,6 +26,27 @@ type Optimizer interface {
 	ImportState(src []float32) error
 }
 
+// ShardedOptimizer is implemented by optimizers that may hold only one
+// rank's contiguous shard of the full state (sgd.NewShard / sgd.NewLARSShard
+// — and their replicated forms, whose shard is everything). StateBounds
+// locates the held state within the full flat vector, which lets Capture
+// gather shards into a rank-count-independent checkpoint and Restore carve a
+// full checkpoint back down to one rank's shard.
+type ShardedOptimizer interface {
+	Optimizer
+	// StateBounds returns the element range [lo, hi) the held state occupies
+	// within the full flat state vector (hi-lo == StateLen()).
+	StateBounds() (lo, hi int)
+	// FullStateLen returns the whole model's state element count.
+	FullStateLen() int
+}
+
+// partialShard reports whether opt holds strictly less than the full state.
+func partialShard(opt Optimizer) (ShardedOptimizer, bool) {
+	so, ok := opt.(ShardedOptimizer)
+	return so, ok && so.StateLen() != so.FullStateLen()
+}
+
 const (
 	magic   = 0x54504B43 // "CKPT"
 	version = 1
@@ -44,8 +65,17 @@ type Checkpoint struct {
 }
 
 // Capture snapshots the model (and optionally the optimizer; pass nil to
-// skip) at the given progress counters.
+// skip) at the given progress counters. A sharded optimizer holding only
+// part of the state cannot be captured without its peers — use
+// CaptureSharded with the training communicator instead.
 func Capture(params []*nn.Param, opt Optimizer, step int64, epoch float64) (*Checkpoint, error) {
+	if opt != nil {
+		if so, partial := partialShard(opt); partial {
+			lo, hi := so.StateBounds()
+			return nil, fmt.Errorf("checkpoint: optimizer holds shard [%d,%d) of %d state elements; use CaptureSharded",
+				lo, hi, so.FullStateLen())
+		}
+	}
 	c := &Checkpoint{Step: step, Epoch: epoch}
 	for _, p := range params {
 		c.names = append(c.names, p.Name)
@@ -62,8 +92,71 @@ func Capture(params []*nn.Param, opt Optimizer, step int64, epoch float64) (*Che
 	return c, nil
 }
 
+// CaptureSharded snapshots a model trained with a sharded optimizer: every
+// rank exports its shard's momentum, the shards are allgathered in rank
+// order (rank shards are ascending and contiguous, so concatenation IS the
+// full flat state), and every rank returns an identical, rank-count-
+// independent Checkpoint — bitwise the file a replicated run would have
+// written. Collective: every rank of c must call it.
+func CaptureSharded(c *mpi.Comm, params []*nn.Param, opt ShardedOptimizer, step int64, epoch float64) (*Checkpoint, error) {
+	if opt.StateLen() == opt.FullStateLen() {
+		// Replicated form (the shard is everything): the state is already
+		// complete and identical on every rank, nothing to gather.
+		return Capture(params, opt, step, epoch)
+	}
+	// Each shard travels with its StateBounds header so placement does not
+	// trust rank order, and the layout is verified to tile the full state.
+	lo, hi := opt.StateBounds()
+	shard := make([]float32, opt.StateLen())
+	if err := opt.ExportState(shard); err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 8+4*len(shard))
+	binary.LittleEndian.PutUint32(msg[0:], uint32(lo))
+	binary.LittleEndian.PutUint32(msg[4:], uint32(hi))
+	mpi.EncodeFloat32s(msg[8:], shard)
+	parts, err := c.AllGather(msg)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: gathering optimizer shards: %w", err)
+	}
+	full := make([]float32, opt.FullStateLen())
+	prevHi := 0
+	for r, b := range parts {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("checkpoint: short shard header from rank %d", r)
+		}
+		sLo := int(binary.LittleEndian.Uint32(b[0:]))
+		sHi := int(binary.LittleEndian.Uint32(b[4:]))
+		if sHi < sLo || sHi > len(full) || len(b) != 8+4*(sHi-sLo) {
+			return nil, fmt.Errorf("checkpoint: rank %d shard [%d,%d) with %d bytes is malformed", r, sLo, sHi, len(b))
+		}
+		// Shards are contiguous ascending in rank order by construction;
+		// verify they tile [0, FullStateLen) with no gap or overlap.
+		if sLo != prevHi {
+			return nil, fmt.Errorf("checkpoint: rank %d shard starts at %d, want %d (ranks disagree on the shard layout)",
+				r, sLo, prevHi)
+		}
+		mpi.DecodeFloat32s(full[sLo:sHi], b[8:])
+		prevHi = sHi
+	}
+	if prevHi != len(full) {
+		return nil, fmt.Errorf("checkpoint: gathered shards end at %d, want %d", prevHi, len(full))
+	}
+	ck, err := Capture(params, nil, step, epoch)
+	if err != nil {
+		return nil, err
+	}
+	ck.optState = full
+	return ck, nil
+}
+
 // Restore writes the snapshot back into the model (and optimizer when both
 // the checkpoint and opt carry state). Parameter names and sizes must match.
+// A sharded optimizer receives only its own StateBounds slice of the
+// checkpoint's full state — the scatter half of rank-count-independent
+// checkpointing, needing no communication because every rank reads the same
+// file. Replicated checkpoints therefore load into sharded runs of any world
+// size, and vice versa.
 func (c *Checkpoint) Restore(params []*nn.Param, opt Optimizer) error {
 	if len(params) != len(c.values) {
 		return fmt.Errorf("checkpoint: model has %d params, checkpoint %d", len(params), len(c.values))
@@ -80,6 +173,14 @@ func (c *Checkpoint) Restore(params []*nn.Param, opt Optimizer) error {
 		copy(p.Value.Data, c.values[i])
 	}
 	if opt != nil && len(c.optState) > 0 {
+		if so, partial := partialShard(opt); partial {
+			if len(c.optState) != so.FullStateLen() {
+				return fmt.Errorf("checkpoint: %d state elements for a model with %d (sharded restore needs a full checkpoint)",
+					len(c.optState), so.FullStateLen())
+			}
+			lo, hi := so.StateBounds()
+			return so.ImportState(c.optState[lo:hi])
+		}
 		if err := opt.ImportState(c.optState); err != nil {
 			return err
 		}

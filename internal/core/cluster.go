@@ -55,6 +55,14 @@ type ClusterResult struct {
 	// CommStats[r] is learner r's cumulative compressed-allreduce traffic
 	// (all zero when the run used the uncompressed path).
 	CommStats []allreduce.CompressedStats
+	// OptStateBytes[r] is learner r's resident optimizer (momentum) state in
+	// bytes: a full replica per device normally, one parameter shard under
+	// Config.ShardOptimizer.
+	OptStateBytes []int64
+	// ParamAGBytes[r] is learner r's cumulative parameter-allgather wire
+	// bytes (send+recv) — the traffic the sharded step adds in exchange for
+	// the owner-routed gradient reduce-scatter; zero when sharding is off.
+	ParamAGBytes []int64
 }
 
 // RunCluster executes the job on an in-process world and returns per-step
@@ -72,10 +80,12 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	world := newWorld(cfg.Learners)
 	defer world.Close()
 	res := &ClusterResult{
-		Losses:       make([][]float64, cfg.Learners),
-		FinalWeights: make([][]float32, cfg.Learners),
-		Phases:       make([]PhaseTimes, cfg.Learners),
-		CommStats:    make([]allreduce.CompressedStats, cfg.Learners),
+		Losses:        make([][]float64, cfg.Learners),
+		FinalWeights:  make([][]float32, cfg.Learners),
+		Phases:        make([]PhaseTimes, cfg.Learners),
+		CommStats:     make([]allreduce.CompressedStats, cfg.Learners),
+		OptStateBytes: make([]int64, cfg.Learners),
+		ParamAGBytes:  make([]int64, cfg.Learners),
 	}
 	var mu sync.Mutex
 	err := world.Run(func(c *mpi.Comm) error {
@@ -131,6 +141,8 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		res.FinalWeights[rank] = w
 		res.Phases[rank] = l.Phases()
 		res.CommStats[rank] = l.CommStats()
+		res.OptStateBytes[rank] = l.OptimizerStateBytes()
+		res.ParamAGBytes[rank] = l.ParamAllGatherBytes()
 		mu.Unlock()
 		return nil
 	})
@@ -196,6 +208,28 @@ func AllocBenchModel(classes, size int, seed int64) nn.Layer {
 		nn.NewReLU("r2"),
 		nn.NewLinear("fc3", 256, classes, rng),
 	)
+}
+
+// ShardBenchModel builds the many-equal-layer MLP behind benchtool's -shard
+// workload. Its parameter mass is spread over ten same-sized 192×192 dense
+// layers (the input is flattened to 192 at size 8, so the first layer is no
+// bigger than the rest) — whole-parameter contiguous shards therefore
+// balance across ranks, and per-rank optimizer-state bytes genuinely scale
+// as ~1/world-size, which is the quantity the shard workload measures. A
+// model dominated by one giant tensor (AllocBenchModel's fc1) cannot show
+// that scaling however the shards are cut.
+func ShardBenchModel(classes, size int, seed int64) nn.Layer {
+	rng := tensor.NewRNG(seed)
+	const width = 192
+	in := 3 * size * size
+	layers := []nn.Layer{nn.NewFlatten("fl"), nn.NewLinear("fc0", in, width, rng), nn.NewReLU("r0")}
+	for i := 1; i <= 9; i++ {
+		layers = append(layers,
+			nn.NewLinear(fmt.Sprintf("fc%d", i), width, width, rng),
+			nn.NewReLU(fmt.Sprintf("r%d", i)))
+	}
+	layers = append(layers, nn.NewLinear("out", width, classes, rng))
+	return nn.NewSequential("shardmlp", layers...)
 }
 
 // SyntheticTensorData materializes a deterministic labelled dataset of n

@@ -147,6 +147,19 @@ type Config struct {
 	// OverlapInFlight caps how many buckets the reactive pipeline keeps in
 	// flight at once (default 8).
 	OverlapInFlight int
+	// ShardOptimizer enables ZeRO-1-style sharded data parallelism: each
+	// rank owns a contiguous shard of whole parameters (balanced by element
+	// count), holds only that shard's momentum, and applies only its shard's
+	// update. The step becomes reduce-scatter (each gradient bucket's
+	// compressed payload travels only to its shard owners) → local shard
+	// update → allgather of the updated parameters, instead of allreduce →
+	// full update — so per-rank optimizer-state memory and update cost scale
+	// as ~1/world-size. The gradient exchange runs the bucketed codec path
+	// (Compression; an empty Codec means the exact identity codec, like
+	// Overlap), composes with error feedback and with the reactive Overlap
+	// pipeline, and the final parameters are bitwise identical to the
+	// replicated path under the same Compression config.
+	ShardOptimizer bool
 }
 
 // PhaseTimes accumulates wall time per Algorithm 1 phase — the step
@@ -197,6 +210,16 @@ type Learner struct {
 
 	// Reactive-pipeline state (nil when Overlap is off); see reactive.go.
 	pipeline *bucketPlan
+
+	// Sharded-optimizer state (nil/empty when ShardOptimizer is off); see
+	// sharded.go. paramBounds/elemBounds are the param-aligned shard layout
+	// (length Size+1); shardOpt updates only this rank's shard of device
+	// 0's replica; flatParams is the allgather staging buffer.
+	paramBounds  []int
+	elemBounds   []int
+	shardOpt     *sgd.SGD
+	flatParams   []float32
+	paramAGBytes int64 // cumulative parameter-allgather wire bytes (send+recv)
 }
 
 // NewLearner constructs a learner over comm from per-device model replicas.
@@ -225,7 +248,7 @@ func NewLearner(comm *mpi.Comm, replicas []nn.Layer, source BatchSource, inputC,
 		cfg:     cfg,
 		gradBuf: make([]float32, engine.GradSize()),
 	}
-	if cfg.Compression.Enabled() || cfg.Overlap {
+	if cfg.Compression.Enabled() || cfg.Overlap || cfg.ShardOptimizer {
 		codec, err := compress.New(cfg.Compression)
 		if err != nil {
 			engine.Close()
@@ -252,8 +275,15 @@ func NewLearner(comm *mpi.Comm, replicas []nn.Layer, source BatchSource, inputC,
 	if l.scale == 0 {
 		l.scale = 1 / float32(comm.Size()*m)
 	}
-	for d := 0; d < m; d++ {
-		l.opts = append(l.opts, sgd.New(engine.Params(d), cfg.SGD))
+	if cfg.ShardOptimizer {
+		l.paramBounds, l.elemBounds = paramShardBounds(engine, comm.Size())
+		rank := comm.Rank()
+		l.shardOpt = sgd.NewShard(engine.Params(0), cfg.SGD, l.paramBounds[rank], l.paramBounds[rank+1])
+		l.flatParams = make([]float32, engine.GradSize())
+	} else {
+		for d := 0; d < m; d++ {
+			l.opts = append(l.opts, sgd.New(engine.Params(d), cfg.SGD))
+		}
 	}
 	if err := l.broadcastInitialWeights(); err != nil {
 		engine.Close()
@@ -283,12 +313,7 @@ func (l *Learner) broadcastInitialWeights() error {
 		return fmt.Errorf("core: weight bcast got %d bytes, want %d", len(got), 4*len(flat))
 	}
 	mpi.DecodeFloat32s(flat, got)
-	for d := 0; d < l.engine.NumDevices(); d++ {
-		if err := nn.UnflattenValues(l.engine.Params(d), flat); err != nil {
-			return err
-		}
-	}
-	return nil
+	return l.engine.SetValues(flat)
 }
 
 // Step runs one iteration of Algorithm 1 and returns this learner's local
@@ -318,6 +343,9 @@ func (l *Learner) Step() (float64, error) {
 	}
 	t3 := time.Now()
 	l.phases.IntraNode += t3.Sub(t2).Seconds()
+	if l.shardOpt != nil {
+		return l.stepSharded(loss, t3)
+	}
 	// 4. Global inter-node summation (MPI allreduce) — through the bucketed
 	// compressed path when a codec is configured.
 	if l.codec != nil {

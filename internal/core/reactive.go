@@ -90,9 +90,14 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 	devices := l.engine.NumDevices()
 	lr := l.currentLR()
 
+	// With ShardOptimizer the stream stops at the reduce-scatter boundary:
+	// bucket payloads travel only to their shard owners, and buckets this
+	// rank does not own surface with a nil Sum (elemBounds is nil otherwise,
+	// which keeps the full allreduce exchange).
 	stream := allreduce.NewStream(l.comm, l.codec, allreduce.StreamOptions{
 		MaxInFlight: l.cfg.OverlapInFlight,
 		SelfDecoded: l.selfDecoded,
+		ShardBounds: l.elemBounds,
 	})
 
 	// Tracker: count down each bucket's (param × device) contributions as
@@ -167,6 +172,12 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 	// scale, scatter to the devices, and fire the SGD update for every
 	// parameter whose buckets have all arrived. Consumed Sum buffers are
 	// released back to the pool for the next buckets (and the next step).
+	//
+	// In sharded mode only owned buckets carry a Sum; the gradient lands on
+	// device 0 alone (the replica the shard optimizer reads), unowned
+	// buckets contribute just their error-feedback residual update (which is
+	// rank-local, hence full-length), and StepParam enforces shard ownership
+	// — so the countdown stays uniform across modes.
 	remaining := plan.remaining
 	for i := range remaining {
 		remaining[i] = len(plan.bucketsOf[i])
@@ -186,23 +197,35 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 			if l.feedback != nil {
 				l.feedback.UpdateAt(res.Lo, l.corrected[res.Lo:res.Hi], l.selfDecoded[res.Lo:res.Hi])
 			}
-			if l.scale != 1 {
-				for i := range res.Sum {
-					res.Sum[i] *= l.scale
+			if res.Sum != nil {
+				if l.scale != 1 {
+					for i := range res.Sum {
+						res.Sum[i] *= l.scale
+					}
 				}
+				var err error
+				if l.shardOpt != nil {
+					err = l.engine.ScatterRangeDev(0, res.Lo, res.Hi, res.Sum)
+				} else {
+					err = l.engine.ScatterRange(res.Lo, res.Hi, res.Sum)
+				}
+				if err != nil {
+					firstErr = err
+					res.Release()
+					continue
+				}
+				copy(l.gradBuf[res.Lo:res.Hi], res.Sum)
 			}
-			if err := l.engine.ScatterRange(res.Lo, res.Hi, res.Sum); err != nil {
-				firstErr = err
-				res.Release()
-				continue
-			}
-			copy(l.gradBuf[res.Lo:res.Hi], res.Sum)
 			res.Release()
 			for _, p := range plan.paramsOf[res.Idx] {
 				remaining[p]--
 				if remaining[p] == 0 {
-					for _, o := range l.opts {
-						o.StepParam(p, lr)
+					if l.shardOpt != nil {
+						l.shardOpt.StepParam(p, lr)
+					} else {
+						for _, o := range l.opts {
+							o.StepParam(p, lr)
+						}
 					}
 				}
 			}
@@ -232,6 +255,14 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 	}
 	l.commStats.Add(st)
 	l.engine.AddAllReduceBytes(st.BytesSent + st.BytesRecv)
+	if stepErr == nil && perr == nil && cerr == nil && l.shardOpt != nil {
+		// Sharded tail: every owned parameter is updated by now; allgather
+		// the shards and refresh the devices. Exposed comm, like the tail
+		// the phased sharded step pays — accounted in AllReduce below.
+		if err := l.allGatherParams(); err != nil {
+			cerr = err
+		}
+	}
 	// Everything after backward returned is exposed (non-overlapped) comm +
 	// update tail.
 	l.phases.AllReduce += time.Since(t2).Seconds()

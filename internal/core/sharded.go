@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/allreduce"
+	"repro/internal/dpt"
+)
+
+// This file implements ZeRO-1-style sharded data parallelism behind
+// Config.ShardOptimizer. The replicated Algorithm 1 step holds a full
+// optimizer-state replica and applies the full update on every rank; the
+// sharded step decomposes its allreduce at the reduce-scatter boundary:
+//
+//	intra-node sum → reduce-scatter (each gradient bucket's compressed
+//	payload travels only to its shard owners) → this rank updates ONLY its
+//	contiguous parameter shard, with only that shard's momentum → allgather
+//	of the updated parameters → every device's replica refreshed
+//
+// Shards are whole parameters (balanced by element count), so LARS-style
+// per-layer norms and NoWeightDecay flags stay rank-local. A bucket's
+// reduced sum is accumulated in rank order from the same decoded payloads
+// the replicated path sums, the shard update runs the same arithmetic on the
+// same values, and the allgather moves bitwise copies — which is why the
+// final parameters are bitwise identical to the replicated path under the
+// same Compression config (a test asserts it across codecs, in both phased
+// and overlap modes).
+
+// paramShardBounds partitions the engine's parameters into ranks contiguous
+// shards of whole parameters, balanced by element count: paramB[r] is the
+// first param index of rank r's shard, elemB[r] its flattened element
+// offset (both length ranks+1). Ranks beyond the parameter supply own empty
+// shards.
+func paramShardBounds(engine *dpt.Engine, ranks int) (paramB, elemB []int) {
+	np := engine.NumParams()
+	total := engine.GradSize()
+	paramB = make([]int, ranks+1)
+	elemB = make([]int, ranks+1)
+	p, off := 0, 0
+	for r := 1; r <= ranks; r++ {
+		target := r * total / ranks
+		for p < np && off < target {
+			_, hi := engine.ParamRange(p)
+			off = hi
+			p++
+		}
+		paramB[r] = p
+		elemB[r] = off
+	}
+	// The last cut always covers everything (target == total pulls every
+	// remaining param in), but make the invariant explicit.
+	paramB[ranks] = np
+	elemB[ranks] = total
+	return paramB, elemB
+}
+
+// shardRange returns this rank's owned element range.
+func (l *Learner) shardRange() (lo, hi int) {
+	rank := l.comm.Rank()
+	return l.elemBounds[rank], l.elemBounds[rank+1]
+}
+
+// stepSharded finishes a phased training step in sharded mode: called after
+// batch sampling, compute and the intra-node sum (t3 is the intra-node end
+// time; loss is the step's local mean loss). Mirrors the tail of
+// Learner.Step with the allreduce decomposed.
+func (l *Learner) stepSharded(loss float64, t3 time.Time) (float64, error) {
+	// 4a. Reduce-scatter: after this, gradBuf holds the global sum over
+	// every bucket overlapping this rank's shard.
+	if l.feedback != nil {
+		l.feedback.Correct(l.gradBuf)
+		copy(l.corrected, l.gradBuf)
+	}
+	st, err := allreduce.BucketedReduceScatter(l.comm, l.gradBuf, l.codec, allreduce.CompressedOptions{
+		BucketFloats: l.cfg.Compression.BucketFloats,
+		SelfDecoded:  l.selfDecoded,
+		ShardBounds:  l.elemBounds,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: reduce-scatter: %w", err)
+	}
+	l.commStats.Add(st)
+	l.engine.AddAllReduceBytes(st.BytesSent + st.BytesRecv)
+	if l.feedback != nil {
+		// The residual update is rank-local (own corrected gradient vs own
+		// transmitted payloads), so it stays full-length under sharding.
+		l.feedback.Update(l.corrected, l.selfDecoded)
+	}
+	t4 := time.Now()
+	l.phases.AllReduce += t4.Sub(t3).Seconds()
+
+	// 4b. Local shard update: scale, hand the shard's gradient to device
+	// 0's replica, and step only the owned parameters with the shard-local
+	// momentum. Element-for-element the same arithmetic as the replicated
+	// update over this range.
+	lo, hi := l.shardRange()
+	if l.scale != 1 {
+		seg := l.gradBuf[lo:hi]
+		for i := range seg {
+			seg[i] *= l.scale
+		}
+	}
+	if err := l.engine.ScatterRangeDev(0, lo, hi, l.gradBuf[lo:hi]); err != nil {
+		return 0, err
+	}
+	l.shardOpt.Step(l.currentLR())
+	t5 := time.Now()
+	l.phases.Update += t5.Sub(t4).Seconds()
+
+	// 4c. Allgather of updated parameters + intra-node weight broadcast.
+	if err := l.allGatherParams(); err != nil {
+		return 0, err
+	}
+	l.phases.AllReduce += time.Since(t5).Seconds()
+	l.step++
+	return loss, nil
+}
+
+// allGatherParams assembles this rank's updated shard from device 0,
+// allgathers every shard (ring, bitwise copies), and refreshes every
+// device's replica. The allgather's wire bytes are accounted in
+// paramAGBytes — it is real traffic the sharded step pays that the
+// replicated step does not, and the shard report must not hide it.
+func (l *Learner) allGatherParams() error {
+	lo, hi := l.shardRange()
+	if err := l.engine.FlattenValuesRange(0, lo, hi, l.flatParams[lo:hi]); err != nil {
+		return err
+	}
+	if err := allreduce.AllGather(l.comm, l.flatParams, l.elemBounds, allreduce.VarRing); err != nil {
+		return fmt.Errorf("core: parameter allgather: %w", err)
+	}
+	// Ring allgather schedule: over n-1 steps the rank forwards every shard
+	// except shard (rank+1) mod n and receives every shard except its own.
+	if n := l.comm.Size(); n > 1 {
+		total := int64(len(l.flatParams))
+		next := (l.comm.Rank() + 1) % n
+		sent := total - int64(l.elemBounds[next+1]-l.elemBounds[next])
+		recv := total - int64(hi-lo)
+		l.paramAGBytes += 4 * (sent + recv)
+	}
+	return l.engine.SetValues(l.flatParams)
+}
+
+// ParamAllGatherBytes returns the cumulative wire bytes (send+recv) of the
+// sharded step's parameter allgather — zero when sharding is off.
+func (l *Learner) ParamAllGatherBytes() int64 { return l.paramAGBytes }
+
+// Sharded reports whether the learner runs the sharded-optimizer path.
+func (l *Learner) Sharded() bool { return l.shardOpt != nil }
+
+// ShardBounds returns the param-aligned element shard layout (length
+// Size+1), or nil when sharding is off.
+func (l *Learner) ShardBounds() []int { return l.elemBounds }
+
+// OptimizerStateBytes returns the bytes of optimizer (momentum) state this
+// learner holds: one shard in sharded mode, one full replica per device
+// otherwise — the quantity ZeRO-1 sharding shrinks by ~world-size.
+func (l *Learner) OptimizerStateBytes() int64 {
+	if l.shardOpt != nil {
+		return 4 * int64(l.shardOpt.StateLen())
+	}
+	var n int64
+	for _, o := range l.opts {
+		n += int64(o.StateLen())
+	}
+	return 4 * n
+}

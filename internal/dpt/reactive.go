@@ -181,19 +181,82 @@ func (e *Engine) ReduceRangeInto(dst []float32, lo, hi int) error {
 // accumulators over the flattened range [lo, hi) — the per-bucket form of
 // SetGrads' intra-node broadcast.
 func (e *Engine) ScatterRange(lo, hi int, src []float32) error {
-	if hi < lo || lo < 0 || hi > e.gradSize {
-		return fmt.Errorf("dpt: ScatterRange range [%d,%d) outside gradient [0,%d)", lo, hi, e.gradSize)
-	}
-	if len(src) != hi-lo {
-		return fmt.Errorf("dpt: ScatterRange src %d, want %d", len(src), hi-lo)
+	if err := e.checkRange("ScatterRange", lo, hi, len(src)); err != nil {
+		return err
 	}
 	first, last := e.paramsOverlapping(lo, hi)
+	for dev := range e.devices {
+		e.scatterRangeDev(dev, lo, hi, src, first, last)
+	}
+	return nil
+}
+
+// ScatterRangeDev is ScatterRange restricted to one device — the sharded
+// optimizer's form: only the device whose replica the shard optimizer reads
+// needs the reduced gradient, the others receive updated *weights* via
+// SetValues after the parameter allgather.
+func (e *Engine) ScatterRangeDev(dev, lo, hi int, src []float32) error {
+	if dev < 0 || dev >= len(e.devices) {
+		return fmt.Errorf("dpt: ScatterRangeDev device %d of %d", dev, len(e.devices))
+	}
+	if err := e.checkRange("ScatterRangeDev", lo, hi, len(src)); err != nil {
+		return err
+	}
+	first, last := e.paramsOverlapping(lo, hi)
+	e.scatterRangeDev(dev, lo, hi, src, first, last)
+	return nil
+}
+
+// scatterRangeDev copies src into device dev's gradient accumulators over
+// [lo, hi); bounds and src length are already validated.
+func (e *Engine) scatterRangeDev(dev, lo, hi int, src []float32, first, last int) {
+	d := e.devices[dev]
+	for i := first; i < last; i++ {
+		pLo, pHi := e.ParamRange(i)
+		s, t := max(pLo, lo), min(pHi, hi)
+		copy(d.params[i].Grad.Data[s-pLo:t-pLo], src[s-lo:t-lo])
+	}
+}
+
+// FlattenValuesRange copies device dev's parameter VALUES over the flattened
+// range [lo, hi) into dst (length hi-lo) — how the sharded path assembles
+// its updated shard for the parameter allgather.
+func (e *Engine) FlattenValuesRange(dev, lo, hi int, dst []float32) error {
+	if dev < 0 || dev >= len(e.devices) {
+		return fmt.Errorf("dpt: FlattenValuesRange device %d of %d", dev, len(e.devices))
+	}
+	if err := e.checkRange("FlattenValuesRange", lo, hi, len(dst)); err != nil {
+		return err
+	}
+	d := e.devices[dev]
+	first, last := e.paramsOverlapping(lo, hi)
+	for i := first; i < last; i++ {
+		pLo, pHi := e.ParamRange(i)
+		s, t := max(pLo, lo), min(pHi, hi)
+		copy(dst[s-lo:t-lo], d.params[i].Value.Data[s-pLo:t-pLo])
+	}
+	return nil
+}
+
+// SetValues writes a full flattened weight vector into every device's
+// parameters — the intra-node broadcast of allgathered parameters in the
+// sharded update (the weight analogue of SetGrads).
+func (e *Engine) SetValues(flat []float32) error {
 	for _, d := range e.devices {
-		for i := first; i < last; i++ {
-			pLo, pHi := e.ParamRange(i)
-			s, t := max(pLo, lo), min(pHi, hi)
-			copy(d.params[i].Grad.Data[s-pLo:t-pLo], src[s-lo:t-lo])
+		if err := nn.UnflattenValues(d.params, flat); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// checkRange validates a flattened sub-range and its buffer length.
+func (e *Engine) checkRange(op string, lo, hi, bufLen int) error {
+	if hi < lo || lo < 0 || hi > e.gradSize {
+		return fmt.Errorf("dpt: %s range [%d,%d) outside gradient [0,%d)", op, lo, hi, e.gradSize)
+	}
+	if bufLen != hi-lo {
+		return fmt.Errorf("dpt: %s buffer %d, want %d", op, bufLen, hi-lo)
 	}
 	return nil
 }

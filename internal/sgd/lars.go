@@ -1,7 +1,6 @@
 package sgd
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/nn"
@@ -21,25 +20,42 @@ type LARS struct {
 	cfg      Config
 	eta      float32
 	params   []*nn.Param
-	velocity [][]float32
+	velocity [][]float32 // indexed by param; nil outside [shardLo, shardHi)
+
+	shardLo, shardHi int
+	stateLo, stateHi int
+	fullLen          int
 }
 
 // NewLARS builds a LARS optimizer. eta is the trust coefficient (You et al.
 // use 0.001-0.01; 0.001 is the common default).
 func NewLARS(params []*nn.Param, cfg Config, eta float32) *LARS {
-	o := &LARS{cfg: cfg, eta: eta, params: params, velocity: make([][]float32, len(params))}
-	for i, p := range params {
-		o.velocity[i] = make([]float32, p.Value.Len())
-	}
+	return NewLARSShard(params, cfg, eta, 0, len(params))
+}
+
+// NewLARSShard builds a shard-aware LARS optimizer holding momentum for, and
+// updating, only the contiguous parameter range [lo, hi) — the LARS face of
+// ZeRO-1 sharding. Because shards are whole parameters, the layer-wise norm
+// adaptation needs no cross-rank communication.
+func NewLARSShard(params []*nn.Param, cfg Config, eta float32, lo, hi int) *LARS {
+	o := &LARS{cfg: cfg, eta: eta, params: params, shardLo: lo, shardHi: hi}
+	o.velocity, o.stateLo, o.stateHi, o.fullLen = shardVelocity(params, lo, hi)
 	return o
 }
 
-// Step applies one LARS update with the given global learning rate.
-// Parameters flagged NoWeightDecay skip both the decay term and the layer
-// adaptation (standard practice for BN parameters and biases, whose norms
-// are not scale-invariant).
+// ShardRange returns the owned param-index range [lo, hi).
+func (o *LARS) ShardRange() (lo, hi int) { return o.shardLo, o.shardHi }
+
+// Owns reports whether parameter i belongs to this optimizer's shard.
+func (o *LARS) Owns(i int) bool { return i >= o.shardLo && i < o.shardHi }
+
+// Step applies one LARS update with the given global learning rate to every
+// owned parameter. Parameters flagged NoWeightDecay skip both the decay term
+// and the layer adaptation (standard practice for BN parameters and biases,
+// whose norms are not scale-invariant).
 func (o *LARS) Step(lr float32) {
-	for i, p := range o.params {
+	for i := o.shardLo; i < o.shardHi; i++ {
+		p := o.params[i]
 		w := p.Value.Data
 		g := p.Grad.Data
 		v := o.velocity[i]
@@ -69,43 +85,23 @@ func (o *LARS) Step(lr float32) {
 	}
 }
 
-// StateLen mirrors SGD.StateLen for checkpointing.
-func (o *LARS) StateLen() int {
-	n := 0
-	for _, v := range o.velocity {
-		n += len(v)
-	}
-	return n
-}
+// StateLen mirrors SGD.StateLen for checkpointing: the held momentum element
+// count (the shard's, when sharded).
+func (o *LARS) StateLen() int { return o.stateHi - o.stateLo }
 
-// ExportState copies the momentum buffers into dst (checkpointing).
+// FullStateLen returns the whole model's momentum element count.
+func (o *LARS) FullStateLen() int { return o.fullLen }
+
+// StateBounds returns the element range [lo, hi) of this optimizer's state
+// within the full flat state vector.
+func (o *LARS) StateBounds() (lo, hi int) { return o.stateLo, o.stateHi }
+
+// ExportState copies the owned momentum buffers into dst (checkpointing).
 func (o *LARS) ExportState(dst []float32) error {
-	off := 0
-	for _, v := range o.velocity {
-		if off+len(v) > len(dst) {
-			return fmt.Errorf("sgd: LARS ExportState dst too small")
-		}
-		copy(dst[off:], v)
-		off += len(v)
-	}
-	if off != len(dst) {
-		return fmt.Errorf("sgd: LARS ExportState dst size %d, want %d", len(dst), off)
-	}
-	return nil
+	return exportVelocity(o.velocity[o.shardLo:o.shardHi], dst)
 }
 
 // ImportState restores momentum buffers written by ExportState.
 func (o *LARS) ImportState(src []float32) error {
-	off := 0
-	for _, v := range o.velocity {
-		if off+len(v) > len(src) {
-			return fmt.Errorf("sgd: LARS ImportState src too small")
-		}
-		copy(v, src[off:off+len(v)])
-		off += len(v)
-	}
-	if off != len(src) {
-		return fmt.Errorf("sgd: LARS ImportState src size %d, want %d", len(src), off)
-	}
-	return nil
+	return importVelocity(o.velocity[o.shardLo:o.shardHi], src)
 }

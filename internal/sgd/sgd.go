@@ -22,28 +22,82 @@ type Config struct {
 // DefaultConfig returns the paper's optimizer settings.
 func DefaultConfig() Config { return Config{Momentum: 0.9, WeightDecay: 1e-4} }
 
-// SGD holds per-parameter momentum state for one model replica.
+// SGD holds per-parameter momentum state for one model replica — or, in
+// sharded (ZeRO-1-style) data parallelism, for one rank's contiguous
+// parameter shard: NewShard allocates momentum only for params [lo, hi) and
+// restricts updates to them, so per-rank optimizer memory and update cost
+// scale as ~1/world-size.
 type SGD struct {
 	cfg      Config
 	params   []*nn.Param
-	velocity [][]float32
+	velocity [][]float32 // indexed by param; nil outside [shardLo, shardHi)
+
+	shardLo, shardHi int // owned param-index range
+	stateLo, stateHi int // the shard's element range within the full flat state
+	fullLen          int // total momentum elements across all params
 }
 
-// New builds an optimizer over params.
+// New builds an optimizer over params (full replica: every param owned).
 func New(params []*nn.Param, cfg Config) *SGD {
-	o := &SGD{cfg: cfg, params: params, velocity: make([][]float32, len(params))}
-	for i, p := range params {
-		o.velocity[i] = make([]float32, p.Value.Len())
-	}
+	return NewShard(params, cfg, 0, len(params))
+}
+
+// NewShard builds a shard-aware optimizer: momentum is held, and updates
+// applied, only for the contiguous parameter range [lo, hi) of params. The
+// params slice still describes the whole model, so parameter indices (and
+// checkpoint state layout) agree across all ranks; an empty range is legal
+// (a rank starved of parameters).
+func NewShard(params []*nn.Param, cfg Config, lo, hi int) *SGD {
+	o := &SGD{cfg: cfg, params: params, shardLo: lo, shardHi: hi}
+	o.velocity, o.stateLo, o.stateHi, o.fullLen = shardVelocity(params, lo, hi)
 	return o
 }
 
-// Step applies one SGD update with the given learning rate, reading each
-// parameter's accumulated gradient: v = m·v + (g + wd·w); w -= lr·v.
-// Parameters flagged NoWeightDecay (BN scale/shift, biases) skip the decay
-// term, matching the Torch recipe.
+// shardVelocity allocates momentum buffers for params [lo, hi) only (nil
+// elsewhere) and locates the shard's state within the full flat state
+// vector: the element offsets [stateLo, stateHi) and the total element
+// count. Shared by the SGD and LARS shard constructors so their checkpoint
+// state layouts can never diverge.
+func shardVelocity(params []*nn.Param, lo, hi int) (vel [][]float32, stateLo, stateHi, fullLen int) {
+	if lo < 0 || hi > len(params) || hi < lo {
+		panic(fmt.Sprintf("sgd: shard [%d,%d) outside params [0,%d)", lo, hi, len(params)))
+	}
+	vel = make([][]float32, len(params))
+	off := 0
+	for i, p := range params {
+		if i == lo {
+			stateLo = off
+		}
+		if i == hi {
+			stateHi = off
+		}
+		if i >= lo && i < hi {
+			vel[i] = make([]float32, p.Value.Len())
+		}
+		off += p.Value.Len()
+	}
+	fullLen = off
+	if lo == len(params) {
+		stateLo = off
+	}
+	if hi == len(params) {
+		stateHi = off
+	}
+	return vel, stateLo, stateHi, fullLen
+}
+
+// ShardRange returns the owned param-index range [lo, hi).
+func (o *SGD) ShardRange() (lo, hi int) { return o.shardLo, o.shardHi }
+
+// Owns reports whether parameter i belongs to this optimizer's shard.
+func (o *SGD) Owns(i int) bool { return i >= o.shardLo && i < o.shardHi }
+
+// Step applies one SGD update with the given learning rate to every owned
+// parameter, reading each parameter's accumulated gradient:
+// v = m·v + (g + wd·w); w -= lr·v. Parameters flagged NoWeightDecay (BN
+// scale/shift, biases) skip the decay term, matching the Torch recipe.
 func (o *SGD) Step(lr float32) {
-	for i := range o.params {
+	for i := o.shardLo; i < o.shardHi; i++ {
 		o.StepParam(i, lr)
 	}
 }
@@ -51,8 +105,13 @@ func (o *SGD) Step(lr float32) {
 // StepParam updates the single parameter at index i (the optimizer's
 // construction order). Parameter updates are independent, so applying them
 // one at a time as reduced gradient buckets land — the reactive pipeline's
-// per-bucket update — is bitwise identical to a full Step.
+// per-bucket update — is bitwise identical to a full Step. Indices outside
+// the shard are a no-op, so a per-bucket driver can count down every param
+// uniformly and let the optimizer enforce ownership.
 func (o *SGD) StepParam(i int, lr float32) {
+	if !o.Owns(i) {
+		return
+	}
 	p := o.params[i]
 	v := o.velocity[i]
 	w := p.Value.Data
@@ -69,21 +128,36 @@ func (o *SGD) StepParam(i int, lr float32) {
 	}
 }
 
-// StateLen returns the total number of momentum scalars (equals the model's
-// parameter count).
-func (o *SGD) StateLen() int {
-	n := 0
-	for _, v := range o.velocity {
-		n += len(v)
-	}
-	return n
+// StateLen returns the number of momentum scalars this optimizer holds: the
+// model's full parameter count for a replicated optimizer, the shard's
+// element count for a sharded one.
+func (o *SGD) StateLen() int { return o.stateHi - o.stateLo }
+
+// FullStateLen returns the momentum element count of the whole model — what
+// a rank-count-independent checkpoint stores.
+func (o *SGD) FullStateLen() int { return o.fullLen }
+
+// StateBounds returns the element range [lo, hi) this optimizer's state
+// occupies within the full flat state vector; checkpointing uses it to
+// gather shards on save and scatter on load.
+func (o *SGD) StateBounds() (lo, hi int) { return o.stateLo, o.stateHi }
+
+// ExportState copies the owned momentum buffers into dst back-to-back, in
+// parameter order — the optimizer half of a training checkpoint (this rank's
+// shard of it, when sharded).
+func (o *SGD) ExportState(dst []float32) error {
+	return exportVelocity(o.velocity[o.shardLo:o.shardHi], dst)
 }
 
-// ExportState copies the momentum buffers into dst back-to-back, in
-// parameter order — the optimizer half of a training checkpoint.
-func (o *SGD) ExportState(dst []float32) error {
+// ImportState restores momentum buffers written by ExportState.
+func (o *SGD) ImportState(src []float32) error {
+	return importVelocity(o.velocity[o.shardLo:o.shardHi], src)
+}
+
+// exportVelocity flattens per-param momentum buffers into dst, exactly.
+func exportVelocity(vel [][]float32, dst []float32) error {
 	off := 0
-	for _, v := range o.velocity {
+	for _, v := range vel {
 		if off+len(v) > len(dst) {
 			return fmt.Errorf("sgd: ExportState dst too small")
 		}
@@ -96,10 +170,10 @@ func (o *SGD) ExportState(dst []float32) error {
 	return nil
 }
 
-// ImportState restores momentum buffers written by ExportState.
-func (o *SGD) ImportState(src []float32) error {
+// importVelocity restores per-param momentum buffers from src, exactly.
+func importVelocity(vel [][]float32, src []float32) error {
 	off := 0
-	for _, v := range o.velocity {
+	for _, v := range vel {
 		if off+len(v) > len(src) {
 			return fmt.Errorf("sgd: ImportState src too small")
 		}
