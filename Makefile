@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench allocs overlap shard lint clean
+.PHONY: all build test race bench allocs allocs-baseline overlap shard hier lint clean
 
 all: lint build test
 
@@ -22,10 +22,16 @@ bench: allocs
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Allocation profile of the training hot path, gated against the committed
-# BENCH_alloc.json baseline (fails if allocs/op regresses > 2x).
+# BENCH_alloc.json baseline (fails if allocs/op regresses > 2x). The run's
+# own report goes to the OS temp dir; use allocs-baseline to regenerate the
+# committed baseline alongside an intentional change.
 allocs:
 	$(GO) run ./cmd/benchtool -allocs -learners 2 -devices 1 -steps 25 \
-		-json BENCH_alloc.new.json -allocs-baseline BENCH_alloc.json
+		-allocs-baseline BENCH_alloc.json
+
+allocs-baseline:
+	$(GO) run ./cmd/benchtool -allocs -learners 2 -devices 1 -steps 25 \
+		-allocs-baseline-update
 
 # The overlap workload CI runs: phased vs reactive schedules of the same
 # comm-heavy job, with the JSON report benchtool uploads as an artifact.
@@ -36,6 +42,12 @@ overlap:
 # per-rank optimizer bytes, step time, and the bitwise equivalence check.
 shard:
 	$(GO) run ./cmd/benchtool -shard -learners 4 -devices 1 -steps 10 -json shard.json
+
+# The hierarchical-collectives workload CI runs: flat vs topology-routed
+# gradient exchange on an asymmetric fabric — fails unless the slow-link
+# bytes drop >= 2x and the final weights stay bitwise identical.
+hier:
+	$(GO) run ./cmd/benchtool -hier -hier-nodes 2 -hier-ranks 4 -devices 1 -steps 6 -json hier.json
 
 lint:
 	$(GO) vet ./...

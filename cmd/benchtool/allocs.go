@@ -43,7 +43,9 @@ type allocsReport struct {
 // Warmup steps run first so the shared buffer pools are populated and the
 // numbers reflect steady state. When baselinePath is set, the run fails if
 // either schedule's allocs/op regresses by more than maxRegress versus the
-// committed baseline — the CI gate.
+// committed baseline — the CI gate. The JSON report always lands somewhere
+// inspectable: at jsonPath when given, in the OS temp directory otherwise
+// (so routine gate runs never leave stray report files in the tree).
 func allocsWorkload(codec string, topkRatio float64, learners, devices, steps int, jsonPath, baselinePath string, maxRegress float64) error {
 	const classes, size, batchPerDevice = 8, 16, 8
 	const bucketFloats = 1024
@@ -155,6 +157,19 @@ func allocsWorkload(codec string, topkRatio float64, learners, devices, steps in
 		Phased:         phased,
 		Overlapped:     overlapped,
 	}
+	if jsonPath == "" {
+		// Keep the report inspectable without regenerating the committed
+		// baseline or littering the working tree (pass
+		// -allocs-baseline-update to overwrite BENCH_alloc.json, or -json
+		// for an explicit path). A fresh per-run temp name: a fixed path in
+		// the shared temp dir would collide across users.
+		f, err := os.CreateTemp("", "BENCH_alloc.*.json")
+		if err != nil {
+			return err
+		}
+		jsonPath = f.Name()
+		f.Close()
+	}
 
 	fmt.Printf("allocs workload: codec=%s learners=%d devices=%d steps=%d (+%d warmup) grad=%d floats buckets=%d floats\n",
 		codec, learners, devices, steps, warmup, gradFloats, bucketFloats)
@@ -166,16 +181,14 @@ func allocsWorkload(codec string, topkRatio float64, learners, devices, steps in
 			row.name, row.r.AllocsPerStep, row.r.BytesPerStep, row.r.GCPauseNsPerStep, row.r.NumGC)
 	}
 
-	if jsonPath != "" {
-		blob, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote %s\n", jsonPath)
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
 	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", jsonPath)
 
 	if baselinePath != "" {
 		raw, err := os.ReadFile(baselinePath)

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+	"repro/internal/simnet"
+)
+
+// hierRun is one routing configuration's measurements.
+type hierRun struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	StepSeconds float64 `json:"step_seconds"`
+	// AllReduceSeconds is the per-step communication share (learner 0).
+	AllReduceSeconds float64 `json:"allreduce_seconds"`
+	// IntraBytes / InterBytes are the world's cumulative wire bytes per
+	// link class (mpi.World.Traffic) — InterBytes is the slow-link traffic
+	// the hierarchical routing conserves.
+	IntraBytes int64 `json:"intra_bytes"`
+	InterBytes int64 `json:"inter_bytes"`
+}
+
+// hierReport is the JSON schema of the -hier workload.
+type hierReport struct {
+	Workload       string  `json:"workload"`
+	Codec          string  `json:"codec"`
+	Nodes          int     `json:"nodes"`
+	RanksPerNode   int     `json:"ranks_per_node"`
+	DevicesPerNode int     `json:"devices_per_node"`
+	Steps          int     `json:"steps"`
+	BucketFloats   int     `json:"bucket_floats"`
+	GradFloats     int     `json:"grad_floats"`
+	IntraLatency   string  `json:"intra_latency"`
+	IntraBytesSec  float64 `json:"intra_bytes_per_sec"`
+	InterLatency   string  `json:"inter_latency"`
+	InterBytesSec  float64 `json:"inter_bytes_per_sec"`
+	Flat           hierRun `json:"flat"`
+	Hierarchical   hierRun `json:"hierarchical"`
+	// InterBytesRatio is flat inter-node bytes over hierarchical
+	// inter-node bytes — the slow-link traffic reduction; the workload
+	// fails below 2x.
+	InterBytesRatio float64 `json:"inter_bytes_ratio"`
+	Speedup         float64 `json:"speedup"`
+	// BitwiseIdentical confirms the two routings produced identical final
+	// parameters on every rank — hierarchical routing is a pure routing
+	// change, never an arithmetic one.
+	BitwiseIdentical bool `json:"bitwise_identical"`
+}
+
+// hierWorkload trains the same comm-heavy job twice on an asymmetric
+// (fast-intra/slow-inter) topology world — flat bucketed exchange, then
+// hierarchical routing over the same node layout — and reports step time,
+// per-link-class wire bytes, and the bitwise equivalence check. Exits
+// nonzero if the final weights diverge or the slow-link savings fall below
+// 2x: those are the subsystem's two contract claims.
+func hierWorkload(codec string, topkRatio float64, nodes, ranksPerNode, devices, steps int, jsonPath string) error {
+	const classes, size, batchPerDevice = 8, 12, 8
+	const bucketFloats = 16384
+	// MinskyFabric numbers scaled down ~200x: the tiny in-process job then
+	// spends real (but CI-friendly) wall time on the wire, with the
+	// intra/inter asymmetry of the calibrated fabric preserved.
+	const slowdown = 200
+	if codec == "" {
+		codec = "none"
+	}
+	if nodes < 2 {
+		return fmt.Errorf("benchtool: -hier needs at least 2 nodes (got %d) to have an inter-node fabric", nodes)
+	}
+	if ranksPerNode < 1 {
+		return fmt.Errorf("benchtool: -hier-ranks must be positive (got %d)", ranksPerNode)
+	}
+	learners := nodes * ranksPerNode
+	topo := mpi.UniformTopology(learners, ranksPerNode)
+	intra, inter, err := simnet.MinskyFabric(nodes).LinkProfiles(slowdown)
+	if err != nil {
+		return err
+	}
+	images := batchPerDevice * devices * learners
+	dataX, dataLabels := core.SyntheticTensorData(images, classes, size, 23)
+
+	run := func(hier bool) (*core.ClusterResult, time.Duration, mpi.Traffic, error) {
+		var world *mpi.World
+		cfg := core.ClusterConfig{
+			Learners:       learners,
+			DevicesPerNode: devices,
+			NewReplica: func(seed int64) nn.Layer {
+				return core.AllocBenchModel(classes, size, 700+seed)
+			},
+			NewSource: func(rank int) core.BatchSource {
+				return &core.SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: learners}
+			},
+			Steps:  steps,
+			InputC: 3, InputH: size, InputW: size,
+			NewWorld: func(n int) *mpi.World {
+				w, err := mpi.NewTopologyWorld(n, topo, intra, inter)
+				if err != nil {
+					panic(err) // topology is internally consistent by construction
+				}
+				world = w
+				return w
+			},
+			Learner: core.Config{
+				BatchPerDevice: batchPerDevice,
+				Schedule:       sgd.Const(0.05),
+				SGD:            sgd.DefaultConfig(),
+				Compression: compress.Config{
+					Codec:         codec,
+					TopKRatio:     topkRatio,
+					ErrorFeedback: codec == "topk",
+					BucketFloats:  bucketFloats,
+				},
+			},
+		}
+		if hier {
+			cfg.Learner.Topology = topo
+		}
+		start := time.Now()
+		res, err := core.RunCluster(cfg)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, 0, mpi.Traffic{}, err
+		}
+		return res, wall, world.Traffic(), nil
+	}
+
+	summarize := func(res *core.ClusterResult, wall time.Duration, tr mpi.Traffic) hierRun {
+		s := float64(steps)
+		return hierRun{
+			WallSeconds:      wall.Seconds(),
+			StepSeconds:      wall.Seconds() / s,
+			AllReduceSeconds: res.Phases[0].AllReduce / s,
+			IntraBytes:       tr.IntraBytes,
+			InterBytes:       tr.InterBytes,
+		}
+	}
+
+	flatRes, flatWall, flatTraffic, err := run(false)
+	if err != nil {
+		return fmt.Errorf("benchtool: flat run: %w", err)
+	}
+	hierRes, hierWall, hierTraffic, err := run(true)
+	if err != nil {
+		return fmt.Errorf("benchtool: hierarchical run: %w", err)
+	}
+
+	identical := true
+	for r := range flatRes.FinalWeights {
+		for i := range flatRes.FinalWeights[r] {
+			if flatRes.FinalWeights[r][i] != hierRes.FinalWeights[r][i] {
+				identical = false
+			}
+		}
+	}
+
+	rep := hierReport{
+		Workload:         "hier",
+		Codec:            codec,
+		Nodes:            nodes,
+		RanksPerNode:     ranksPerNode,
+		DevicesPerNode:   devices,
+		Steps:            steps,
+		BucketFloats:     bucketFloats,
+		GradFloats:       len(flatRes.FinalWeights[0]),
+		IntraLatency:     intra.Latency.String(),
+		IntraBytesSec:    intra.BytesPerSec,
+		InterLatency:     inter.Latency.String(),
+		InterBytesSec:    inter.BytesPerSec,
+		Flat:             summarize(flatRes, flatWall, flatTraffic),
+		Hierarchical:     summarize(hierRes, hierWall, hierTraffic),
+		BitwiseIdentical: identical,
+	}
+	if rep.Hierarchical.InterBytes > 0 {
+		rep.InterBytesRatio = float64(rep.Flat.InterBytes) / float64(rep.Hierarchical.InterBytes)
+	}
+	if rep.Hierarchical.StepSeconds > 0 {
+		rep.Speedup = rep.Flat.StepSeconds / rep.Hierarchical.StepSeconds
+	}
+
+	fmt.Printf("hier workload: codec=%s nodes=%d ranks/node=%d devices=%d steps=%d grad=%d floats buckets=%d floats\n",
+		codec, nodes, ranksPerNode, devices, steps, rep.GradFloats, bucketFloats)
+	fmt.Printf("  links (MinskyFabric/%d): intra %s + %.0f MB/s, inter %s + %.0f MB/s\n",
+		slowdown, rep.IntraLatency, intra.BytesPerSec/1e6, rep.InterLatency, inter.BytesPerSec/1e6)
+	for _, row := range []struct {
+		name string
+		r    hierRun
+	}{{"flat", rep.Flat}, {"hierarchical", rep.Hierarchical}} {
+		fmt.Printf("  %-13s %7.2f ms/step (comm %.2f ms)  intra %d bytes  inter %d bytes\n",
+			row.name, 1e3*row.r.StepSeconds, 1e3*row.r.AllReduceSeconds, row.r.IntraBytes, row.r.InterBytes)
+	}
+	fmt.Printf("  slow-link bytes: %.2fx fewer   speedup: %.2fx   bitwise identical: %v\n",
+		rep.InterBytesRatio, rep.Speedup, rep.BitwiseIdentical)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+
+	if !identical {
+		return fmt.Errorf("benchtool: hierarchical final weights diverge from flat — routing equivalence broken")
+	}
+	if rep.InterBytesRatio < 2 {
+		return fmt.Errorf("benchtool: hierarchical routing saved only %.2fx slow-link bytes (want >= 2x)", rep.InterBytesRatio)
+	}
+	return nil
+}

@@ -46,10 +46,27 @@ func main() {
 	shard := flag.Bool("shard", false, "run the ZeRO-1 sharded-optimizer workload (replicated vs sharded: per-rank optimizer-state bytes, step time, bitwise equivalence)")
 	allocsBaseline := flag.String("allocs-baseline", "", "compare the -allocs run against this committed baseline JSON and fail on regression")
 	allocsMaxRegress := flag.Float64("allocs-max-regress", 2.0, "allowed allocs/op growth factor vs the -allocs-baseline")
+	allocsUpdate := flag.Bool("allocs-baseline-update", false, "write the -allocs report over the committed BENCH_alloc.json baseline (without it, a run with no -json writes to a temp path instead of littering the tree)")
+	hier := flag.Bool("hier", false, "run the topology-aware hierarchical-collectives workload (flat vs hierarchical routing on an asymmetric fast-intra/slow-inter fabric: step time, slow-link bytes, bitwise equivalence)")
+	hierNodes := flag.Int("hier-nodes", 2, "simulated node count for the -hier workload")
+	hierRanks := flag.Int("hier-ranks", 4, "learner ranks per node for the -hier workload")
 	flag.Parse()
 
 	if *allocs {
-		if err := allocsWorkload(*compressAlg, *topkRatio, *learners, *devices, *steps, *jsonPath, *allocsBaseline, *allocsMaxRegress); err != nil {
+		path := *jsonPath
+		if *allocsUpdate {
+			if path != "" {
+				log.Fatal("benchtool: -json conflicts with -allocs-baseline-update (the update writes BENCH_alloc.json); pass one or the other")
+			}
+			path = "BENCH_alloc.json"
+		}
+		if err := allocsWorkload(*compressAlg, *topkRatio, *learners, *devices, *steps, path, *allocsBaseline, *allocsMaxRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *hier {
+		if err := hierWorkload(*compressAlg, *topkRatio, *hierNodes, *hierRanks, *devices, *steps, *jsonPath); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dimd"
 	"repro/internal/imagecodec"
 	"repro/internal/models"
+	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/sgd"
 	"repro/internal/tensor"
@@ -49,8 +50,33 @@ func main() {
 		overlap      = flag.Bool("overlap", false, "reactive pipeline: overlap backward compute with the bucketed inter-node allreduce (bitwise identical to the phased bucketed path, i.e. the same -compress config with codec none when unset)")
 		inFlight     = flag.Int("overlap-inflight", 0, "max gradient buckets in flight with -overlap (0 = default 8)")
 		shardOpt     = flag.Bool("shard-optimizer", false, "ZeRO-1 sharded optimizer state: reduce-scatter gradients to shard owners, update only this rank's parameter shard, allgather updated params (bitwise identical to the replicated path; composes with -compress and -overlap)")
+		nodes        = flag.Int("nodes", 0, "simulated node count: lays the learners out as -nodes × -ranks-per-node and routes the gradient exchange hierarchically (node members → node leader → inter-node leader chain; bitwise identical to the flat exchange; composes with -compress, -overlap, -shard-optimizer)")
+		ranksPerNode = flag.Int("ranks-per-node", 0, "learner ranks per simulated node (with -nodes; default 1)")
 	)
 	flag.Parse()
+
+	learnersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "learners" {
+			learnersSet = true
+		}
+	})
+	var topo mpi.Topology
+	if *nodes > 0 {
+		rpn := *ranksPerNode
+		if rpn <= 0 {
+			rpn = 1
+		}
+		if learnersSet && *learners != *nodes*rpn {
+			log.Fatalf("trainctl: -learners %d conflicts with -nodes %d × -ranks-per-node %d = %d (drop -learners or make them agree)",
+				*learners, *nodes, rpn, *nodes*rpn)
+		}
+		*learners = *nodes * rpn
+		topo = mpi.UniformTopology(*learners, rpn)
+		fmt.Printf("topology: %d nodes × %d ranks/node — hierarchical gradient exchange\n", *nodes, rpn)
+	} else if *ranksPerNode > 0 {
+		log.Fatal("trainctl: -ranks-per-node requires -nodes")
+	}
 
 	newReplica := func(s int64) nn.Layer {
 		rng := tensor.NewRNG(*seed*1000 + s)
@@ -84,6 +110,7 @@ func main() {
 			Overlap:         *overlap,
 			OverlapInFlight: *inFlight,
 			ShardOptimizer:  *shardOpt,
+			Topology:        topo,
 		},
 	}
 

@@ -16,6 +16,17 @@ const (
 	compressedTagSpan = 1024
 )
 
+// Hierarchical-mode tag bands (see StreamOptions.Topology): member payloads
+// up to the node leader, leader-chain partials, and the final sum back
+// down. Each cycles mod hierTagSpan; the in-flight cap stays below the span
+// so two live buckets never alias a tag.
+const (
+	tagHierUp    = tagBase + 3072
+	tagHierChain = tagBase + 3328
+	tagHierDown  = tagBase + 3584
+	hierTagSpan  = 256
+)
+
 // CompressedOptions tunes BucketedAllReduce and BucketedReduceScatter.
 type CompressedOptions struct {
 	// BucketFloats is the bucket size in elements (default 16384).
@@ -28,6 +39,11 @@ type CompressedOptions struct {
 	// StreamOptions.ShardBounds); nil means UniformBounds. It must be nil
 	// for BucketedAllReduce.
 	ShardBounds []int
+	// Topology, when non-nil and set, routes every bucket hierarchically
+	// over the node layout instead of all-to-all (see
+	// StreamOptions.Topology). Results are bitwise identical to the flat
+	// exchange; only the message routing changes.
+	Topology *mpi.Topology
 }
 
 // CompressedStats counts the traffic of one or more BucketedAllReduce calls.
@@ -63,10 +79,15 @@ func (s CompressedStats) Ratio() float64 {
 type bucketJob struct {
 	idx      int
 	lo, hi   int
-	owned    bool // this rank reduces the bucket (always true in allreduce mode)
+	owned    bool // this rank receives/produces the bucket's Sum
 	payload  []byte
 	sendReqs []*mpi.Request
 	recvReqs []*mpi.Request // indexed by communicator rank; nil at own rank / non-owner
+	// Hierarchical-mode receives (nil otherwise): chainReq is a leader's
+	// pending partial from the previous node's leader, downReq this rank's
+	// pending final sum (see StreamOptions.Topology).
+	chainReq *mpi.Request
+	downReq  *mpi.Request
 }
 
 // BucketedAllReduce sums data across every rank of c through the given
@@ -131,7 +152,7 @@ func bucketedExchange(c *mpi.Comm, data []float32, codec compress.Codec, opts Co
 		return CompressedStats{}, nil
 	}
 	nb := (len(data) + bf - 1) / bf
-	s := NewStream(c, codec, StreamOptions{SelfDecoded: opts.SelfDecoded, ShardBounds: opts.ShardBounds, MaxInFlight: 4})
+	s := NewStream(c, codec, StreamOptions{SelfDecoded: opts.SelfDecoded, ShardBounds: opts.ShardBounds, Topology: opts.Topology, MaxInFlight: 4})
 	go func() {
 		for b := 0; b < nb; b++ {
 			lo, hi := b*bf, min(b*bf+bf, len(data))

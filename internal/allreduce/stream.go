@@ -31,6 +31,29 @@ type StreamOptions struct {
 	// bucket. Buckets this rank does not own surface on Results with a nil
 	// Sum once their sends complete.
 	ShardBounds []int
+	// Topology, when non-nil and set, routes every bucket hierarchically
+	// instead of all-to-all: members send their compressed payload only to
+	// their node's leader (cheap intra-node link), leaders fold node
+	// partials along a chain in node order (one full-width message per
+	// inter-node hop), and the final leader distributes the result back
+	// down — so slow-link traffic drops from (size-1) payloads per rank
+	// per bucket to O(nodes) messages per bucket in total.
+	//
+	// Bitwise contract: nodes are contiguous rank blocks (Topology.Validate
+	// enforces it), each leader folds the previous nodes' partial first and
+	// then its node's decoded payloads in rank order, and the partial/final
+	// messages are exact float32 round trips — so the chain reproduces the
+	// flat mode's rank-order left fold bit for bit. This is deliberately
+	// NOT the textbook reduce-scatter + leader-allreduce + allgather
+	// composition: that scheme re-associates the sum ((d0+d1)+(d2+d3)
+	// instead of ((d0+d1)+d2)+d3) and would break the bitwise-equivalence
+	// invariant that gates every schedule in this repository.
+	//
+	// Composes with ShardBounds: the chain still runs through every node
+	// (the fold needs all contributions in rank order), but the final
+	// leader then sends the sum only to the bucket's shard owners instead
+	// of broadcasting it.
+	Topology *mpi.Topology
 }
 
 // BucketResult is one completed bucket: the sum of every rank's decoded
@@ -97,6 +120,7 @@ type Stream struct {
 	c       *mpi.Comm
 	codec   compress.Codec
 	opts    StreamOptions
+	hier    *hierPlan // non-nil in hierarchical mode (Topology set)
 	subs    chan streamSub
 	results chan BucketResult
 	slots   chan struct{}
@@ -104,6 +128,49 @@ type Stream struct {
 	done    chan struct{}
 	stats   CompressedStats
 	err     error
+}
+
+// hierPlan is this rank's precomputed role in the hierarchical exchange.
+type hierPlan struct {
+	node        int   // this rank's node
+	nodes       int   // node count
+	leader      int   // this node's leader (its lowest rank)
+	isLeader    bool  // this rank IS its node's leader
+	members     []int // leader only: the node's other ranks, ascending
+	prevLeader  int   // leader of node-1 (-1 on node 0)
+	nextLeader  int   // leader of node+1 (-1 on the last node)
+	finalLeader int   // leader of the last node: computes the global fold
+	leaders     []int // every node's leader, in node order
+}
+
+// newHierPlan derives a rank's hierarchical role from a validated topology.
+func newHierPlan(t *mpi.Topology, rank int) *hierPlan {
+	bounds := t.NodeBounds()
+	leaders := t.Leaders()
+	nodes := t.Nodes()
+	node := t.NodeOf(rank)
+	h := &hierPlan{
+		node:        node,
+		nodes:       nodes,
+		leader:      leaders[node],
+		isLeader:    leaders[node] == rank,
+		prevLeader:  -1,
+		nextLeader:  -1,
+		finalLeader: leaders[nodes-1],
+		leaders:     leaders,
+	}
+	if node > 0 {
+		h.prevLeader = leaders[node-1]
+	}
+	if node < nodes-1 {
+		h.nextLeader = leaders[node+1]
+	}
+	if h.isLeader {
+		for r := bounds[node] + 1; r < bounds[node+1]; r++ {
+			h.members = append(h.members, r)
+		}
+	}
+	return h
 }
 
 // NewStream starts the pipeline goroutines over c with the given codec.
@@ -129,10 +196,21 @@ func NewStream(c *mpi.Comm, codec compress.Codec, opts StreamOptions) *Stream {
 			}
 		}
 	}
+	var hier *hierPlan
+	if opts.Topology != nil && opts.Topology.IsSet() {
+		if err := opts.Topology.Validate(c.Size()); err != nil {
+			panic(fmt.Sprintf("allreduce: Stream topology: %v", err))
+		}
+		hier = newHierPlan(opts.Topology, c.Rank())
+		if opts.MaxInFlight >= hierTagSpan {
+			opts.MaxInFlight = hierTagSpan - 1
+		}
+	}
 	s := &Stream{
 		c:       c,
 		codec:   codec,
 		opts:    opts,
+		hier:    hier,
 		subs:    make(chan streamSub),
 		results: make(chan BucketResult, opts.MaxInFlight),
 		slots:   make(chan struct{}, opts.MaxInFlight),
@@ -204,12 +282,17 @@ func (s *Stream) launch(inflight chan<- bucketJob) {
 		job.idx, job.lo, job.hi = sub.idx, sub.lo, sub.hi
 		scratch := mpi.GetBytes(s.codec.MaxCompressedSize(len(sub.data)))
 		job.payload = s.codec.AppendCompress(scratch[:0], sub.data)
-		tag := tagCompressed + job.idx%compressedTagSpan
 		if job.recvReqs == nil {
 			job.recvReqs = make([]*mpi.Request, n)
 		}
 		job.sendReqs = job.sendReqs[:0]
 		job.owned = sb == nil || shardOwns(sb, rank, job.lo, job.hi)
+		if s.hier != nil {
+			s.launchHier(&job)
+			inflight <- job
+			continue
+		}
+		tag := tagCompressed + job.idx%compressedTagSpan
 		for r := 0; r < n; r++ {
 			if r == rank {
 				continue
@@ -228,6 +311,46 @@ func (s *Stream) launch(inflight chan<- bucketJob) {
 	close(inflight)
 }
 
+// launchHier posts one bucket's hierarchical sends and receives: members
+// ship their compressed payload to their node's leader; leaders post
+// receives for member payloads and (beyond node 0) the previous leader's
+// chain partial; every rank expecting the bucket's final sum posts its down
+// receive. The leader-side chain and down SENDS happen in the reduce stage
+// — the partial does not exist before the fold.
+func (s *Stream) launchHier(job *bucketJob) {
+	h := s.hier
+	t := job.idx % hierTagSpan
+	if !h.isLeader {
+		job.sendReqs = append(job.sendReqs, s.c.Isend(h.leader, tagHierUp+t, job.payload))
+	} else {
+		for _, m := range h.members {
+			job.recvReqs[m] = s.c.Irecv(m, tagHierUp+t)
+		}
+		if h.prevLeader >= 0 {
+			job.chainReq = s.c.Irecv(h.prevLeader, tagHierChain+t)
+		}
+	}
+	if src := s.downSrc(job.owned); src >= 0 {
+		job.downReq = s.c.Irecv(src, tagHierDown+t)
+	}
+}
+
+// downSrc returns the rank this rank receives a bucket's final sum from, or
+// -1 when it computes the sum itself (the final leader) or never needs one
+// (a reduce-scatter non-owner). In allreduce mode the final leader fans out
+// to the other leaders and each leader relays to its members; in
+// reduce-scatter mode the final leader sends straight to each shard owner.
+func (s *Stream) downSrc(owned bool) int {
+	h := s.hier
+	if !owned || s.c.Rank() == h.finalLeader {
+		return -1
+	}
+	if s.opts.ShardBounds != nil || h.isLeader {
+		return h.finalLeader
+	}
+	return h.leader
+}
+
 // retire recycles a finished job's request tables for the next bucket.
 func (s *Stream) retire(job bucketJob) {
 	for i := range job.recvReqs {
@@ -237,6 +360,8 @@ func (s *Stream) retire(job bucketJob) {
 		job.sendReqs[i] = nil
 	}
 	job.payload = nil
+	job.chainReq = nil
+	job.downReq = nil
 	select {
 	case s.free <- job:
 	default:
@@ -258,6 +383,10 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 			tmp = make([]float32, width)
 		}
 		tmp = tmp[:width]
+		if s.hier != nil {
+			s.reduceHier(job, tmp)
+			continue
+		}
 		if !job.owned {
 			s.finishUnowned(job, tmp)
 			continue
@@ -371,6 +500,223 @@ func (s *Stream) finishUnowned(job bucketJob, tmp []float32) {
 	} else {
 		s.stats.BytesSent += int64(payloadLen) * int64(sends)
 		s.stats.RawBytes += int64(4*width) * int64(sends)
+	}
+	s.retire(job)
+	s.results <- res
+	<-s.slots
+}
+
+// reduceHier is stage 3 of the hierarchical exchange (StreamOptions
+// .Topology). Members have nothing to reduce — their payload went up to the
+// node leader at launch; leaders fold the previous nodes' chain partial and
+// then their node's decoded payloads in rank order, forward the partial to
+// the next leader, and the final leader distributes the completed rank-order
+// fold back down. Every value a rank emits as Sum is therefore bit for bit
+// the flat mode's sum of all decoded payloads in rank order.
+func (s *Stream) reduceHier(job bucketJob, tmp []float32) {
+	h := s.hier
+	width := job.hi - job.lo
+	t := job.idx % hierTagSpan
+	var jobErr error
+	fail := func(err error) {
+		if err != nil && jobErr == nil {
+			jobErr = err
+		}
+	}
+
+	if !h.isLeader {
+		// Member: the only local work is the SelfDecoded contract and
+		// (when owed one) receiving the final sum.
+		if s.opts.SelfDecoded != nil {
+			if err := s.codec.Decompress(tmp, job.payload); err != nil {
+				fail(fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err))
+			} else {
+				copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
+			}
+		}
+		fail(mpi.WaitAll(job.sendReqs...))
+		for _, req := range job.sendReqs {
+			req.Release()
+		}
+		if jobErr == nil {
+			s.stats.BytesSent += int64(len(job.payload)) * int64(len(job.sendReqs))
+			s.stats.RawBytes += int64(4*width) * int64(len(job.sendReqs))
+		}
+		mpi.PutBytes(job.payload)
+		sum := s.recvSumInto(nil, job.downReq, width, &jobErr)
+		s.emitHier(job, sum, jobErr)
+		return
+	}
+
+	// Leader: start the fold from the previous nodes' partial — node 0
+	// starts from exact zeros, like the flat path — then add this node's
+	// decoded payloads in rank order: the leader's own first (it is the
+	// node's lowest rank), then each member's.
+	var sum []float32
+	if job.chainReq == nil {
+		sum = mpi.GetFloatsZeroed(width)
+	} else if sum = s.recvSumInto(nil, job.chainReq, width, &jobErr); sum == nil {
+		sum = mpi.GetFloatsZeroed(width) // failed chain recv; keep going so peers drain
+	}
+	job.chainReq = nil
+	if err := s.codec.Decompress(tmp, job.payload); err != nil {
+		fail(fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err))
+	} else {
+		if s.opts.SelfDecoded != nil {
+			copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
+		}
+		if jobErr == nil {
+			for i, v := range tmp {
+				sum[i] += v
+			}
+		}
+	}
+	mpi.PutBytes(job.payload) // a leader's own payload never hits the wire
+	for _, m := range h.members {
+		req := job.recvReqs[m]
+		job.recvReqs[m] = nil
+		b, err := req.Wait()
+		req.Release()
+		if err != nil {
+			fail(err)
+			continue
+		}
+		s.stats.BytesRecv += int64(len(b))
+		if jobErr == nil {
+			if err := s.codec.Decompress(tmp, b); err != nil {
+				fail(fmt.Errorf("allreduce: bucket %d from rank %d: %w", job.idx, m, err))
+			} else {
+				for i, v := range tmp {
+					sum[i] += v
+				}
+			}
+		}
+		mpi.PutBytes(b)
+	}
+
+	// Forward and distribute. Sends happen even after a local error so
+	// downstream ranks never block on a message that would otherwise never
+	// arrive — but a failed fold travels as a zero-length poison message
+	// (forward), so every downstream rank fails the bucket too instead of
+	// silently adopting a partial sum.
+	if h.nextLeader >= 0 {
+		fail(s.forward(h.nextLeader, tagHierChain+t, sum, jobErr))
+		// Not the final node: the global sum comes back from the final
+		// leader (always in allreduce mode; only for shard owners in
+		// reduce-scatter mode), and allreduce-mode leaders relay it to
+		// their members.
+		if job.downReq != nil {
+			if got := s.recvSumInto(sum, job.downReq, width, &jobErr); got != nil {
+				sum = got
+			}
+			job.downReq = nil
+			if s.opts.ShardBounds == nil {
+				for _, m := range h.members {
+					fail(s.forward(m, tagHierDown+t, sum, jobErr))
+				}
+			}
+		}
+	} else {
+		// Final leader: sum IS the completed global fold. Distribute it to
+		// the other leaders and this node's members (allreduce mode) or
+		// straight to the bucket's shard owners (reduce-scatter mode).
+		if sb := s.opts.ShardBounds; sb == nil {
+			for _, l := range h.leaders {
+				if l != s.c.Rank() {
+					fail(s.forward(l, tagHierDown+t, sum, jobErr))
+				}
+			}
+			for _, m := range h.members {
+				fail(s.forward(m, tagHierDown+t, sum, jobErr))
+			}
+		} else {
+			for r := 0; r < s.c.Size(); r++ {
+				if r != s.c.Rank() && shardOwns(sb, r, job.lo, job.hi) {
+					fail(s.forward(r, tagHierDown+t, sum, jobErr))
+				}
+			}
+		}
+	}
+	if !job.owned {
+		mpi.PutFloats(sum)
+		sum = nil
+	}
+	s.emitHier(job, sum, jobErr)
+}
+
+// recvSumInto waits out a raw float32 message (a chain partial or a final
+// sum), decodes it into reuse — allocated from the pool when nil — and
+// releases the transport buffer. nil req is a no-op; on failure the error
+// lands in *jobErr and nil is returned.
+func (s *Stream) recvSumInto(reuse []float32, req *mpi.Request, width int, jobErr *error) []float32 {
+	if req == nil {
+		return nil
+	}
+	b, err := req.Wait()
+	req.Release()
+	if err != nil {
+		if *jobErr == nil {
+			*jobErr = err
+		}
+		return nil
+	}
+	s.stats.BytesRecv += int64(len(b))
+	if len(b) != 4*width {
+		mpi.PutBytes(b)
+		if *jobErr == nil {
+			if len(b) == 0 && width > 0 {
+				// Zero-length poison: an upstream rank's fold failed and it
+				// propagated the failure instead of a partial sum.
+				*jobErr = fmt.Errorf("allreduce: upstream rank failed this bucket")
+			} else {
+				*jobErr = fmt.Errorf("allreduce: hierarchical payload %d bytes, want %d", len(b), 4*width)
+			}
+		}
+		return nil
+	}
+	if reuse == nil {
+		reuse = mpi.GetFloats(width)
+	}
+	mpi.DecodeFloat32s(reuse, b)
+	mpi.PutBytes(b)
+	return reuse
+}
+
+// sendRaw ships a raw float32 vector — exact bits, no codec — and accounts
+// it on success (raw messages count 1:1 against RawBytes: they are
+// uncompressed).
+func (s *Stream) sendRaw(dst, tag int, data []float32) error {
+	err := s.c.SendFloats(dst, tag, data)
+	if err == nil {
+		s.stats.BytesSent += int64(4 * len(data))
+		s.stats.RawBytes += int64(4 * len(data))
+	}
+	return err
+}
+
+// forward ships a chain partial or final sum downstream, or — when this
+// rank's fold already failed — a zero-length poison message, so downstream
+// ranks fail the bucket instead of silently folding a corrupt partial.
+func (s *Stream) forward(dst, tag int, sum []float32, jobErr error) error {
+	if jobErr != nil {
+		return s.sendRaw(dst, tag, nil)
+	}
+	return s.sendRaw(dst, tag, sum)
+}
+
+// emitHier finishes a hierarchical bucket: account it, surface the result,
+// recycle the job, free the in-flight slot.
+func (s *Stream) emitHier(job bucketJob, sum []float32, jobErr error) {
+	s.stats.Buckets++
+	res := BucketResult{Idx: job.idx, Lo: job.lo, Hi: job.hi}
+	if jobErr != nil {
+		if s.err == nil {
+			s.err = jobErr
+		}
+		res.Err = jobErr
+		mpi.PutFloats(sum)
+	} else {
+		res.Sum = sum
 	}
 	s.retire(job)
 	s.results <- res

@@ -1,18 +1,3 @@
-// Package allreduce implements the gradient-summation collectives the paper
-// evaluates (Section 4.2, Figures 5-6): the multi-color k-ary-tree pipelined
-// allreduce (the paper's contribution), a pipelined single-root ring (the
-// paper's ring baseline), recursive doubling and Rabenseifner reduce-scatter/
-// allgather (standing in for the default OpenMPI algorithm), and the classic
-// bucket ring for ablation. All algorithms run over an mpi.Comm and reduce a
-// float32 vector in place with summation, leaving the result on every rank.
-//
-// Underneath the allreduce algorithms sits a composable collectives layer
-// (collectives.go): ReduceScatter and AllGather over an explicit shard
-// layout, in ring and Rabenseifner (recursive halving/doubling) variants.
-// The bucket ring and Rabenseifner allreduces are literally compositions of
-// the two primitives, and the compressed bucketed Stream can stop at the
-// reduce-scatter boundary (StreamOptions.ShardBounds) — the foundation for
-// ZeRO-1-style sharded optimization in internal/core.
 package allreduce
 
 // Tree is one color's spanning tree in the multi-color allreduce: a k-ary

@@ -11,11 +11,24 @@
 // the configured MPI allreduce, broadcast back to the devices, and every
 // device applies the SGD update — leaving all replicas bitwise identical.
 //
-// With Config.Overlap the same iteration runs as a reactive per-bucket
-// pipeline (reactive.go): gradient buckets are reduced, compressed and
-// exchanged while backward is still computing earlier layers, and updates
-// apply per bucket as results land — same arithmetic, same bits, less
-// exposed communication time.
+// The step has four execution paths, all producing bitwise-identical
+// parameters under the same compression config (docs/ARCHITECTURE.md maps
+// them side by side):
+//
+//   - phased (the default): the strictly sequential Algorithm 1 above.
+//   - overlap (Config.Overlap, reactive.go): a reactive per-bucket pipeline
+//     — gradient buckets are reduced, compressed and exchanged while
+//     backward is still computing earlier layers, and updates apply per
+//     bucket as results land. Same arithmetic, same bits, less exposed
+//     communication time.
+//   - sharded (Config.ShardOptimizer, sharded.go): ZeRO-1 — the allreduce
+//     decomposes at the reduce-scatter boundary, each rank updates only its
+//     parameter shard with shard-local momentum, and the updated parameters
+//     are allgathered back.
+//   - hierarchical (Config.Topology): the exchange routes over the rank→node
+//     layout — node members to their node leader, leaders chaining partials
+//     across the inter-node fabric — multiplying down slow-link traffic.
+//     Composes with all of the above; it changes routing, never arithmetic.
 package core
 
 import (
@@ -160,6 +173,19 @@ type Config struct {
 	// pipeline, and the final parameters are bitwise identical to the
 	// replicated path under the same Compression config.
 	ShardOptimizer bool
+	// Topology, when set, is the rank→node layout of the cluster (e.g.
+	// mpi.UniformTopology(learners, ranksPerNode)): the gradient exchange
+	// then routes every bucket hierarchically — node members talk only to
+	// their node's leader, leaders chain partial sums across the
+	// inter-node fabric, and the result fans back out — so slow-link
+	// traffic per bucket drops from (world-1) payloads per rank to
+	// O(nodes) messages in total. The exchange always runs the bucketed
+	// codec path (an empty Codec means the exact identity codec, like
+	// Overlap), composes with Compression, Overlap, and ShardOptimizer,
+	// and the final parameters are bitwise identical to the flat exchange
+	// under the same config: the leader chain folds decoded payloads in
+	// global rank order, exactly like the flat path.
+	Topology mpi.Topology
 }
 
 // PhaseTimes accumulates wall time per Algorithm 1 phase — the step
@@ -220,6 +246,10 @@ type Learner struct {
 	shardOpt     *sgd.SGD
 	flatParams   []float32
 	paramAGBytes int64 // cumulative parameter-allgather wire bytes (send+recv)
+
+	// topo is the hierarchical routing layout (nil when Config.Topology is
+	// unset); handed to every bucketed exchange the learner launches.
+	topo *mpi.Topology
 }
 
 // NewLearner constructs a learner over comm from per-device model replicas.
@@ -248,7 +278,14 @@ func NewLearner(comm *mpi.Comm, replicas []nn.Layer, source BatchSource, inputC,
 		cfg:     cfg,
 		gradBuf: make([]float32, engine.GradSize()),
 	}
-	if cfg.Compression.Enabled() || cfg.Overlap || cfg.ShardOptimizer {
+	if cfg.Topology.IsSet() {
+		if err := cfg.Topology.Validate(comm.Size()); err != nil {
+			engine.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		l.topo = &cfg.Topology
+	}
+	if cfg.Compression.Enabled() || cfg.Overlap || cfg.ShardOptimizer || l.topo != nil {
 		codec, err := compress.New(cfg.Compression)
 		if err != nil {
 			engine.Close()
@@ -356,6 +393,7 @@ func (l *Learner) Step() (float64, error) {
 		st, err := allreduce.BucketedAllReduce(l.comm, l.gradBuf, l.codec, allreduce.CompressedOptions{
 			BucketFloats: l.cfg.Compression.BucketFloats,
 			SelfDecoded:  l.selfDecoded,
+			Topology:     l.topo,
 		})
 		if err != nil {
 			return 0, fmt.Errorf("core: compressed allreduce: %w", err)

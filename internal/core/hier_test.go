@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+)
+
+// runHier trains the standard small synthetic workload with hierarchical
+// routing on (topology set) or off (flat), across the schedule switches.
+func runHier(t *testing.T, comp compress.Config, topo mpi.Topology, overlap, shard bool, learners, devices, steps int) *ClusterResult {
+	t.Helper()
+	const classes, size = 3, 8
+	dataX, dataLabels := SyntheticTensorData(24, classes, size, 23)
+	res, err := RunCluster(ClusterConfig{
+		Learners:       learners,
+		DevicesPerNode: devices,
+		NewReplica:     func(seed int64) nn.Layer { return bnFreeCNN(classes, size, 500+seed) },
+		NewSource: func(rank int) BatchSource {
+			return &SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: learners}
+		},
+		Steps:  steps,
+		InputC: 3, InputH: size, InputW: size,
+		Learner: Config{
+			BatchPerDevice: 12 / (learners * devices),
+			Schedule:       sgd.Const(0.1),
+			SGD:            sgd.DefaultConfig(),
+			Compression:    comp,
+			Overlap:        overlap,
+			ShardOptimizer: shard,
+			Topology:       topo,
+		},
+	})
+	if err != nil {
+		t.Fatalf("topo=%v overlap=%v shard=%v compression=%+v: %v", topo.Node, overlap, shard, comp, err)
+	}
+	return res
+}
+
+// TestHierarchicalMatchesFlatTraining is the tentpole's end-to-end claim:
+// routing the gradient exchange hierarchically is invisible to training —
+// final parameters are bitwise identical to the flat exchange across exact
+// and lossy codecs, in the phased AND the reactive/overlap schedule, with
+// and without the sharded (ZeRO-1) optimizer. 4 learners on 2 nodes of 2.
+func TestHierarchicalMatchesFlatTraining(t *testing.T) {
+	const learners, devices, steps = 4, 1, 8
+	topo := mpi.UniformTopology(learners, 2)
+	for _, tc := range []struct {
+		name string
+		comp compress.Config
+	}{
+		{"none", compress.Config{Codec: "none", BucketFloats: 512}},
+		{"int8", compress.Config{Codec: "int8", BucketFloats: 512}},
+		{"topk-ef", compress.Config{Codec: "topk", TopKRatio: 0.25, ErrorFeedback: true, BucketFloats: 512}},
+	} {
+		for _, mode := range []struct {
+			name           string
+			overlap, shard bool
+		}{
+			{"phased", false, false},
+			{"overlap", true, false},
+			{"sharded", false, true},
+			{"sharded-overlap", true, true},
+		} {
+			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
+				flat := runHier(t, tc.comp, mpi.Topology{}, mode.overlap, mode.shard, learners, devices, steps)
+				hier := runHier(t, tc.comp, topo, mode.overlap, mode.shard, learners, devices, steps)
+				for r := 0; r < learners; r++ {
+					if len(flat.FinalWeights[r]) != len(hier.FinalWeights[r]) {
+						t.Fatalf("rank %d weight counts differ", r)
+					}
+					for i := range flat.FinalWeights[r] {
+						if flat.FinalWeights[r][i] != hier.FinalWeights[r][i] {
+							t.Fatalf("rank %d weight[%d]: flat %v, hierarchical %v",
+								r, i, flat.FinalWeights[r][i], hier.FinalWeights[r][i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHierarchicalUncompressedConfig: Topology alone (no codec, no overlap,
+// no sharding) must route the step through the bucketed identity path and
+// still keep every learner in sync.
+func TestHierarchicalUncompressedConfig(t *testing.T) {
+	const learners = 4
+	topo := mpi.UniformTopology(learners, 2)
+	res := runHier(t, compress.Config{}, topo, false, false, learners, 1, 6)
+	ref := res.FinalWeights[0]
+	for r := 1; r < learners; r++ {
+		for i := range ref {
+			if res.FinalWeights[r][i] != ref[i] {
+				t.Fatalf("learner %d weight[%d] = %v, learner 0 has %v", r, i, res.FinalWeights[r][i], ref[i])
+			}
+		}
+	}
+	if res.CommStats[0].Buckets == 0 {
+		t.Fatal("topology-routed run accounted no buckets — did it fall back to the raw allreduce?")
+	}
+}
+
+// TestHierarchicalRejectsBadTopology: a topology that does not match the
+// world size must fail learner construction, not corrupt the exchange.
+func TestHierarchicalRejectsBadTopology(t *testing.T) {
+	const classes, size = 3, 8
+	dataX, dataLabels := SyntheticTensorData(24, classes, size, 23)
+	_, err := RunCluster(ClusterConfig{
+		Learners:       2,
+		DevicesPerNode: 1,
+		NewReplica:     func(seed int64) nn.Layer { return bnFreeCNN(classes, size, 500+seed) },
+		NewSource: func(rank int) BatchSource {
+			return &SliceSource{X: dataX, Labels: dataLabels, Rank: rank, Ranks: 2}
+		},
+		Steps:  1,
+		InputC: 3, InputH: size, InputW: size,
+		Learner: Config{
+			BatchPerDevice: 6,
+			Schedule:       sgd.Const(0.1),
+			SGD:            sgd.DefaultConfig(),
+			Topology:       mpi.UniformTopology(5, 2), // wrong world size
+		},
+	})
+	if err == nil {
+		t.Fatal("mismatched topology accepted")
+	}
+}

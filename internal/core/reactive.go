@@ -98,6 +98,7 @@ func (l *Learner) stepOverlapped(t1 time.Time) (float64, error) {
 		MaxInFlight: l.cfg.OverlapInFlight,
 		SelfDecoded: l.selfDecoded,
 		ShardBounds: l.elemBounds,
+		Topology:    l.topo,
 	})
 
 	// Tracker: count down each bucket's (param × device) contributions as

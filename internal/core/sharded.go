@@ -76,6 +76,7 @@ func (l *Learner) stepSharded(loss float64, t3 time.Time) (float64, error) {
 		BucketFloats: l.cfg.Compression.BucketFloats,
 		SelfDecoded:  l.selfDecoded,
 		ShardBounds:  l.elemBounds,
+		Topology:     l.topo,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("core: reduce-scatter: %w", err)

@@ -1,0 +1,11 @@
+// Package dimd implements the paper's Distributed In-Memory Data strategy
+// (Section 4.1): training images are resized, compressed and concatenated
+// into one large blob with an index of per-image offsets and labels; each
+// learner loads a partition of the blob into memory; random mini-batches are
+// fetched straight from memory; and a periodic cross-learner shuffle over
+// MPI_Alltoallv (Algorithm 2) restores global randomness of batch selection.
+//
+// The pieces: pack.go builds and partitions the blob, store.go is the
+// in-memory store plus the shuffle, filestore.go the baseline
+// file-per-image layout DIMD replaces (kept for the I/O comparison).
+package dimd

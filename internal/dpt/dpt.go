@@ -19,6 +19,14 @@
 //
 // The struct records byte/serialization counters so tests and the cluster
 // simulator can account for the difference.
+//
+// Beyond the per-step Step/SumGrads pair, the engine exposes the
+// incremental surface the upper schedules are built on: StepWithGradHook
+// streams per-(device, param) gradient readiness into internal/core's
+// reactive pipeline, ReduceRangeInto/ScatterRange move single buckets for
+// the overlapped exchange, and ScatterRangeDev/FlattenValuesRange/SetValues
+// serve the sharded (ZeRO-1) update path. How the four execution paths
+// compose these is mapped in docs/ARCHITECTURE.md.
 package dpt
 
 import (

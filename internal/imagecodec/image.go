@@ -1,15 +1,3 @@
-// Package imagecodec provides the image pipeline DIMD needs: a real (toy)
-// lossy JPEG-style codec — 8×8 DCT, quantization, zigzag, run-length and
-// varint entropy coding — plus aspect-preserving resize and the crop/flip/
-// normalize augmentation the paper uses ("scale and aspect ratio data
-// augmentation as in fb.resnet.torch; the input image is a 224×224 pixel
-// random crop from a scaled image or its horizontal flip, normalized by the
-// per-color mean and standard deviation").
-//
-// The paper stores resized, compressed images in memory and decompresses
-// them on the fly with "an in-memory JPEG decompresser"; this codec plays
-// that role so the DIMD code path (pack → load → shuffle → random batch →
-// decode → augment → tensor) moves and decodes real bytes.
 package imagecodec
 
 import (

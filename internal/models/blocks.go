@@ -1,7 +1,3 @@
-// Package models builds the CNN architectures the paper trains — ResNet-50
-// and batch-normalized GoogLeNet — plus reduced variants (tiny ResNet, tiny
-// inception, SmallCNN) that make functional distributed-training experiments
-// tractable on CPU. All models are nn.Layer graphs over internal/nn layers.
 package models
 
 import (

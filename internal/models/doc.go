@@ -1,0 +1,8 @@
+// Package models builds the CNN architectures the paper trains — ResNet-50
+// and batch-normalized GoogLeNet — plus reduced variants (tiny ResNet, tiny
+// inception, SmallCNN) that make functional distributed-training experiments
+// tractable on CPU. All models are nn.Layer graphs over internal/nn layers;
+// the branching containers (blocks.go) propagate gradient-readiness hooks,
+// so the reactive pipeline's per-parameter notifications reach residual and
+// inception paths too.
+package models

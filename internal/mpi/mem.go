@@ -108,6 +108,10 @@ type World struct {
 	// link, when non-zero, charges every send the LinkProfile's delay
 	// (see NewLatencyWorld).
 	link LinkProfile
+	// topo, when non-nil, splits links into intra-node and inter-node
+	// classes with separate profiles and byte counters (see
+	// NewTopologyWorld).
+	topo *topoNet
 }
 
 // NewWorld creates an in-process world with n ranks.
@@ -127,7 +131,9 @@ func (w *World) Comm(rank int) (*Comm, error) {
 		group[i] = i
 	}
 	var tr Transport = &memTransport{world: w, rank: rank}
-	if w.link != (LinkProfile{}) {
+	if w.topo != nil {
+		tr = &topoTransport{Transport: tr, net: w.topo, rank: rank}
+	} else if w.link != (LinkProfile{}) {
 		tr = &latencyTransport{Transport: tr, link: w.link}
 	}
 	return newComm(tr, rank, group, 1)

@@ -10,6 +10,14 @@
 // isolated message context, sub-communicators are created collectively, and
 // message matching is (source, tag, context) — so the collective algorithms
 // in internal/allreduce read like their MPI counterparts in the paper.
+//
+// Physical layout is modeled explicitly: a Topology maps ranks onto nodes
+// (the layout internal/allreduce's hierarchical collectives route over),
+// SplitComm derives intra-node and leader sub-communicators from it for
+// group-restricted communication, and NewTopologyWorld builds in-process
+// worlds whose intra-node and inter-node links carry separate LinkProfiles
+// (and per-class byte counters) — the asymmetric fabric every real cluster
+// has.
 package mpi
 
 import (

@@ -1,9 +1,3 @@
-// Package simcluster models the paper's evaluation platform — the 32-node
-// POWER8 Minsky cluster with four P100 GPUs per node and a dual-rail
-// 100 Gb/s InfiniBand fat tree — and regenerates every figure and table of
-// the evaluation from that model plus the collective-communication schedules
-// simulated on internal/simnet. See DESIGN.md §2 for the calibration
-// methodology and EXPERIMENTS.md for paper-vs-model numbers.
 package simcluster
 
 import (

@@ -1,0 +1,49 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPathBandwidth(t *testing.T) {
+	// 4 hosts, 2 per leaf, one spine: cross-leaf paths bottleneck on the
+	// leaf-spine links, same-leaf paths on the host rails.
+	ft, err := NewFatTree(4, 2, 1, 1, 10e9, 5e9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw, err := ft.PathBandwidth(0, 0, 0); err != nil || !math.IsInf(bw, 1) {
+		t.Fatalf("loopback bandwidth = %v, %v; want +Inf", bw, err)
+	}
+	if bw, err := ft.PathBandwidth(0, 1, 0); err != nil || bw != 10e9 {
+		t.Fatalf("same-leaf bandwidth = %v, %v; want 10e9", bw, err)
+	}
+	if bw, err := ft.PathBandwidth(0, 3, 0); err != nil || bw != 5e9 {
+		t.Fatalf("cross-leaf bandwidth = %v, %v; want 5e9 (leaf-spine bottleneck)", bw, err)
+	}
+	if _, err := ft.PathBandwidth(0, 9, 0); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+}
+
+func TestLinkProfilesAsymmetry(t *testing.T) {
+	ft := MinskyFabric(16)
+	intra, inter, err := ft.LinkProfiles(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.BytesPerSec <= 0 || intra.BytesPerSec <= inter.BytesPerSec {
+		t.Fatalf("want intra faster than inter: intra %v B/s, inter %v B/s", intra.BytesPerSec, inter.BytesPerSec)
+	}
+	if inter.Latency <= intra.Latency {
+		t.Fatalf("want inter latency above intra: intra %v, inter %v", intra.Latency, inter.Latency)
+	}
+	// slowdown scales delay linearly: 50x slower fabric, same asymmetry.
+	_, fast, err := ft.LinkProfiles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Delay(1<<20) < 49*fast.Delay(1<<20)/2 {
+		t.Fatalf("slowdown barely slowed the link: %v vs %v", inter.Delay(1<<20), fast.Delay(1<<20))
+	}
+}

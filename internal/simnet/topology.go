@@ -1,18 +1,12 @@
-// Package simnet is a flow-level discrete-event network simulator for the
-// fat-tree InfiniBand fabric of the paper's POWER8 Minsky cluster. Hosts
-// connect to leaf switches through parallel rails (the two ConnectX-5
-// adapters per node); leaves connect to every spine. Traffic is modeled as
-// fluid flows sharing links max-min fairly, with dependency edges between
-// flows so collective-communication schedules (trees, rings, pairwise
-// exchanges) can be simulated as DAGs of transfers.
-//
-// This is the substitution for measuring on real InfiniBand hardware: the
-// phenomena behind the paper's Figures 5-9 — per-rail bandwidth limits, link
-// sharing among concurrent tree colors, latency chains in rings, incast at
-// roots — are link-level effects this model captures.
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/mpi"
+)
 
 // LinkID indexes a directed link in a topology.
 type LinkID int
@@ -111,6 +105,51 @@ func (t *FatTree) Route(src, dst, rail int) ([]LinkID, error) {
 		t.leafDown(dl, spine),
 		t.hostDown(dst, rail),
 	}, nil
+}
+
+// PathBandwidth returns the bottleneck bandwidth in bytes/second of the
+// src→dst route on the given rail — the minimum over the traversed links.
+// Loopback (src == dst) traverses no network link and reports +Inf.
+func (t *FatTree) PathBandwidth(src, dst, rail int) (float64, error) {
+	links, err := t.Route(src, dst, rail)
+	if err != nil {
+		return 0, err
+	}
+	bw := math.Inf(1)
+	for _, l := range links {
+		if t.bw[l] < bw {
+			bw = t.bw[l]
+		}
+	}
+	return bw, nil
+}
+
+// LinkProfiles derives the asymmetric per-level link profiles the
+// topology-aware mpi worlds consume: intra is the within-node level (shared
+// memory — modeled an order of magnitude faster than the fabric in both
+// latency and bandwidth), inter the cross-node level (the fabric's
+// bottleneck path bandwidth and flow latency). slowdown >= 1 scales both
+// levels uniformly; the in-process benchmarks use it so a tiny workload's
+// wall clock still splits visibly into compute and communication without
+// changing the intra/inter asymmetry being studied.
+func (t *FatTree) LinkProfiles(slowdown float64) (intra, inter mpi.LinkProfile, err error) {
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	// Representative cross-node path: host 0 to the last host (crossing
+	// leaves whenever the fabric has more than one; within one leaf the
+	// host-leaf rails still bound it).
+	crossBW, err := t.PathBandwidth(0, t.Hosts-1, 0)
+	if err != nil {
+		return mpi.LinkProfile{}, mpi.LinkProfile{}, err
+	}
+	if math.IsInf(crossBW, 1) { // single-host fabric: no cross-node path
+		crossBW = t.HostBW
+	}
+	lat := time.Duration(t.Latency * slowdown * float64(time.Second))
+	inter = mpi.LinkProfile{Latency: lat, BytesPerSec: crossBW / slowdown}
+	intra = mpi.LinkProfile{Latency: lat / 10, BytesPerSec: 10 * crossBW / slowdown}
+	return intra, inter, nil
 }
 
 // MinskyFabric returns the paper's cluster fabric: up to `hosts` Minsky
