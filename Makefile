@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench allocs allocs-baseline overlap shard hier lint clean
+.PHONY: all build test race bench allocs allocs-baseline overlap shard hier chaos lint clean
 
 all: lint build test
 
@@ -48,6 +48,13 @@ shard:
 # bytes drop >= 2x and the final weights stay bitwise identical.
 hier:
 	$(GO) run ./cmd/benchtool -hier -hier-nodes 2 -hier-ranks 4 -devices 1 -steps 6 -json hier.json
+
+# The chaos-resilience workload CI runs: a rank is killed every 5 steps of an
+# elastic training run (with rejoins), and the job fails unless every
+# recovery completes and the final loss stays within tolerance of the
+# failure-free baseline.
+chaos:
+	$(GO) run ./cmd/benchtool -chaos -chaos-seed 1 -learners 4 -steps 12 -chaos-kill-every 5 -json chaos.json
 
 lint:
 	$(GO) vet ./...

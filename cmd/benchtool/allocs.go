@@ -157,20 +157,6 @@ func allocsWorkload(codec string, topkRatio float64, learners, devices, steps in
 		Phased:         phased,
 		Overlapped:     overlapped,
 	}
-	if jsonPath == "" {
-		// Keep the report inspectable without regenerating the committed
-		// baseline or littering the working tree (pass
-		// -allocs-baseline-update to overwrite BENCH_alloc.json, or -json
-		// for an explicit path). A fresh per-run temp name: a fixed path in
-		// the shared temp dir would collide across users.
-		f, err := os.CreateTemp("", "BENCH_alloc.*.json")
-		if err != nil {
-			return err
-		}
-		jsonPath = f.Name()
-		f.Close()
-	}
-
 	fmt.Printf("allocs workload: codec=%s learners=%d devices=%d steps=%d (+%d warmup) grad=%d floats buckets=%d floats\n",
 		codec, learners, devices, steps, warmup, gradFloats, bucketFloats)
 	for _, row := range []struct {
@@ -181,14 +167,9 @@ func allocsWorkload(codec string, topkRatio float64, learners, devices, steps in
 			row.name, row.r.AllocsPerStep, row.r.BytesPerStep, row.r.GCPauseNsPerStep, row.r.NumGC)
 	}
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := writeReport(jsonPath, "BENCH_alloc.*.json", rep); err != nil {
 		return err
 	}
-	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("  wrote %s\n", jsonPath)
 
 	if baselinePath != "" {
 		raw, err := os.ReadFile(baselinePath)

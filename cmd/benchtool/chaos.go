@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/elastic"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+)
+
+// chaosStep is one step of the post-resync loss trajectory: the chaos run's
+// loss next to the failure-free baseline's at the same step. With the global
+// batch held constant across resizes the two runs consume identical data, so
+// the delta isolates what the crashes and recoveries cost.
+type chaosStep struct {
+	Step     int     `json:"step"`
+	Loss     float64 `json:"loss"`
+	Baseline float64 `json:"baseline_loss"`
+	Delta    float64 `json:"delta"`
+}
+
+// chaosReport is the JSON schema of the -chaos workload; CI uploads one as
+// the chaos.json artifact and gates on Passed.
+type chaosReport struct {
+	Workload          string          `json:"workload"`
+	Seed              int64           `json:"seed"`
+	Learners          int             `json:"learners"`
+	GlobalBatch       int             `json:"global_batch"`
+	Steps             int             `json:"steps"`
+	KillEvery         int             `json:"kill_every"`
+	Rejoin            bool            `json:"rejoin"`
+	DetectTimeoutSec  float64         `json:"detect_timeout_sec"`
+	Tolerance         float64         `json:"tolerance"`
+	Incarnations      int             `json:"incarnations"`
+	Events            []elastic.Event `json:"events"`
+	TotalStepsLost    int             `json:"total_steps_lost"`
+	MaxRecoverySec    float64         `json:"max_recovery_sec"`
+	FinalLoss         float64         `json:"final_loss"`
+	BaselineFinalLoss float64         `json:"baseline_final_loss"`
+	FinalLossDeltaRel float64         `json:"final_loss_delta_rel"`
+	PostResync        []chaosStep     `json:"post_resync"`
+	Passed            bool            `json:"passed"`
+}
+
+// chaosWorkload runs the elastic recovery protocol under a deterministic
+// kill schedule — one rank murdered every killEvery steps, optionally
+// rejoining two steps later — next to a failure-free run of the identical
+// job, and gates on the damage staying within tolerance. The global batch is
+// fixed at 12 (divisible by every world size the schedule passes through),
+// so both runs see the same data stream and the post-resync loss trajectory
+// is directly comparable. A crash mid-protocol, a recovery that deadlocks,
+// or a final loss drifting more than tolerance (relative) from the baseline
+// all exit nonzero — the CI chaos gate.
+func chaosWorkload(seed int64, learners, steps, killEvery int, rejoin bool, tolerance float64, jsonPath string) error {
+	const classes, size, images, globalBatch = 4, 8, 72, 12
+	const detectTimeout = 2 * time.Second
+	if learners < 2 || globalBatch%learners != 0 {
+		return fmt.Errorf("benchtool: -chaos needs 2..%d learners dividing the fixed global batch (got %d)", globalBatch, learners)
+	}
+	if killEvery < 1 {
+		return fmt.Errorf("benchtool: -chaos-kill-every must be >= 1 (got %d)", killEvery)
+	}
+
+	dataX, dataLabels := core.SyntheticTensorData(images, classes, size, 23)
+	baseCfg := func(plan elastic.Plan) elastic.Config {
+		return elastic.Config{
+			Identities:  learners,
+			GlobalBatch: globalBatch,
+			Steps:       steps,
+			NewReplica:  func(s int64) nn.Layer { return core.SmallBNFreeCNN(classes, size, 500+s) },
+			Data:        dataX,
+			Labels:      dataLabels,
+			InputC:      3, InputH: size, InputW: size,
+			Learner: core.Config{
+				Schedule:       sgd.Const(0.05),
+				SGD:            sgd.DefaultConfig(),
+				Compression:    compress.Config{Codec: "none"},
+				ShardOptimizer: true,
+			},
+			Plan: plan,
+		}
+	}
+
+	// The kill schedule: highest identities die first, one every killEvery
+	// steps, leaving identity 0 alive to the end; with -chaos-rejoin each
+	// victim comes back two steps after it died, so the run exercises both
+	// shrink and grow resizes.
+	plan := elastic.Plan{
+		Seed:          seed,
+		CrashAtStep:   map[int]int{},
+		RejoinAtStep:  map[int]int{},
+		DetectTimeout: detectTimeout,
+	}
+	step := killEvery
+	for id := learners - 1; id >= 1 && step < steps; id-- {
+		plan.CrashAtStep[id] = step
+		if rejoin && step+2 < steps {
+			plan.RejoinAtStep[id] = step + 2
+		}
+		step += killEvery
+	}
+	if len(plan.CrashAtStep) == 0 {
+		return fmt.Errorf("benchtool: -chaos schedule kills nobody (steps=%d, kill-every=%d); lengthen the run", steps, killEvery)
+	}
+
+	baseline, err := elastic.Run(baseCfg(elastic.Plan{}))
+	if err != nil {
+		return fmt.Errorf("benchtool: chaos failure-free baseline: %w", err)
+	}
+	chaos, err := elastic.Run(baseCfg(plan))
+	if err != nil {
+		return fmt.Errorf("benchtool: chaos run failed to complete: %w", err)
+	}
+
+	rep := chaosReport{
+		Workload:         "chaos",
+		Seed:             seed,
+		Learners:         learners,
+		GlobalBatch:      globalBatch,
+		Steps:            steps,
+		KillEvery:        killEvery,
+		Rejoin:           rejoin,
+		DetectTimeoutSec: detectTimeout.Seconds(),
+		Tolerance:        tolerance,
+		Incarnations:     chaos.Incarnations,
+		Events:           chaos.Events,
+		FinalLoss:        chaos.FinalLoss,
+	}
+	lastResync := 0
+	for _, ev := range chaos.Events {
+		rep.TotalStepsLost += ev.StepsLost
+		if ev.RecoverySec > rep.MaxRecoverySec {
+			rep.MaxRecoverySec = ev.RecoverySec
+		}
+		if ev.ResumeStep > lastResync {
+			lastResync = ev.ResumeStep
+		}
+	}
+	for s := lastResync; s < steps && s < len(chaos.Losses) && s < len(baseline.Losses); s++ {
+		rep.PostResync = append(rep.PostResync, chaosStep{
+			Step:     s,
+			Loss:     chaos.Losses[s],
+			Baseline: baseline.Losses[s],
+			Delta:    chaos.Losses[s] - baseline.Losses[s],
+		})
+	}
+	rep.BaselineFinalLoss = baseline.FinalLoss
+	rep.FinalLossDeltaRel = math.Abs(chaos.FinalLoss-baseline.FinalLoss) / math.Abs(baseline.FinalLoss)
+	rep.Passed = rep.FinalLossDeltaRel <= tolerance
+
+	fmt.Printf("chaos workload: seed=%d learners=%d steps=%d kill-every=%d rejoin=%v batch=%d\n",
+		seed, learners, steps, killEvery, rejoin, globalBatch)
+	for _, ev := range chaos.Events {
+		fmt.Printf("  %-6s identity %d at step %2d: world %d→%d, resumed at step %d (%d steps lost, recovery %.3fs)\n",
+			ev.Kind, ev.Identity, ev.Step, ev.OldWorld, ev.NewWorld, ev.ResumeStep, ev.StepsLost, ev.RecoverySec)
+	}
+	fmt.Printf("  incarnations: %d   steps lost: %d   max recovery: %.3fs\n",
+		rep.Incarnations, rep.TotalStepsLost, rep.MaxRecoverySec)
+	fmt.Printf("  final loss: %.6f vs failure-free %.6f (relative delta %.4f, tolerance %.4f)\n",
+		rep.FinalLoss, rep.BaselineFinalLoss, rep.FinalLossDeltaRel, rep.Tolerance)
+
+	if err := writeReport(jsonPath, "BENCH_chaos.*.json", rep); err != nil {
+		return err
+	}
+	if !rep.Passed {
+		return fmt.Errorf("benchtool: chaos run drifted %.4f (relative) from the failure-free loss, tolerance %.4f",
+			rep.FinalLossDeltaRel, tolerance)
+	}
+	return nil
+}

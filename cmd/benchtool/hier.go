@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/compress"
@@ -197,15 +195,8 @@ func hierWorkload(codec string, topkRatio float64, nodes, ranksPerNode, devices,
 	fmt.Printf("  slow-link bytes: %.2fx fewer   speedup: %.2fx   bitwise identical: %v\n",
 		rep.InterBytesRatio, rep.Speedup, rep.BitwiseIdentical)
 
-	if jsonPath != "" {
-		blob, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote %s\n", jsonPath)
+	if err := writeReport(jsonPath, "BENCH_hier.*.json", rep); err != nil {
+		return err
 	}
 
 	if !identical {

@@ -41,7 +41,7 @@ func main() {
 	steps := flag.Int("steps", 60, "steps for the compression/overlap workloads")
 	overlap := flag.Bool("overlap", false, "run the reactive-pipeline overlap workload (phased vs overlapped schedules)")
 	devices := flag.Int("devices", 2, "devices per learner for the overlap workload")
-	jsonPath := flag.String("json", "", "write the overlap/allocs workload report to this JSON file")
+	jsonPath := flag.String("json", "", "write the workload report (overlap/allocs/shard/hier/chaos) to this JSON file instead of a temp path")
 	allocs := flag.Bool("allocs", false, "run the allocation-profile workload (allocs/op, bytes/op, GC pauses per step)")
 	shard := flag.Bool("shard", false, "run the ZeRO-1 sharded-optimizer workload (replicated vs sharded: per-rank optimizer-state bytes, step time, bitwise equivalence)")
 	allocsBaseline := flag.String("allocs-baseline", "", "compare the -allocs run against this committed baseline JSON and fail on regression")
@@ -50,7 +50,19 @@ func main() {
 	hier := flag.Bool("hier", false, "run the topology-aware hierarchical-collectives workload (flat vs hierarchical routing on an asymmetric fast-intra/slow-inter fabric: step time, slow-link bytes, bitwise equivalence)")
 	hierNodes := flag.Int("hier-nodes", 2, "simulated node count for the -hier workload")
 	hierRanks := flag.Int("hier-ranks", 4, "learner ranks per node for the -hier workload")
+	chaos := flag.Bool("chaos", false, "run the elastic fault-tolerance workload (kill a rank every -chaos-kill-every steps, recover by resizing, compare the loss trajectory against a failure-free run)")
+	chaosKillEvery := flag.Int("chaos-kill-every", 5, "steps between rank kills for the -chaos workload")
+	chaosRejoin := flag.Bool("chaos-rejoin", true, "rejoin each killed rank two steps after its crash, exercising world growth as well as shrinkage")
+	chaosTolerance := flag.Float64("chaos-tolerance", 0.1, "allowed relative final-loss drift vs the failure-free baseline before -chaos exits nonzero")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed for the -chaos workload (equal seeds reproduce the run bit for bit)")
 	flag.Parse()
+
+	if *chaos {
+		if err := chaosWorkload(*chaosSeed, *learners, *steps, *chaosKillEvery, *chaosRejoin, *chaosTolerance, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *allocs {
 		path := *jsonPath

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// writeReport lands a workload's JSON report somewhere inspectable: at
+// jsonPath when the user passed -json, otherwise at a fresh file in the OS
+// temp directory named after tempPattern (os.CreateTemp semantics — the `*`
+// becomes a unique suffix). Every workload routes through here so none of
+// them silently discards its report or litters the working tree; a fixed
+// temp path would collide across users on a shared machine, hence the
+// per-run unique name.
+func writeReport(jsonPath, tempPattern string, report any) error {
+	if jsonPath == "" {
+		f, err := os.CreateTemp("", tempPattern)
+		if err != nil {
+			return err
+		}
+		jsonPath = f.Name()
+		f.Close()
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", jsonPath)
+	return nil
+}

@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/compress"
@@ -204,15 +202,5 @@ func shardWorkload(codec string, topkRatio float64, learners, devices, steps int
 		return fmt.Errorf("benchtool: sharded final weights diverge from replicated — ZeRO-1 equivalence broken")
 	}
 
-	if jsonPath != "" {
-		blob, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote %s\n", jsonPath)
-	}
-	return nil
+	return writeReport(jsonPath, "BENCH_shard.*.json", rep)
 }

@@ -1,6 +1,8 @@
 package allreduce
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/compress"
@@ -596,9 +598,10 @@ func (s *Stream) reduceHier(job bucketJob, tmp []float32) {
 
 	// Forward and distribute. Sends happen even after a local error so
 	// downstream ranks never block on a message that would otherwise never
-	// arrive — but a failed fold travels as a zero-length poison message
-	// (forward), so every downstream rank fails the bucket too instead of
-	// silently adopting a partial sum.
+	// arrive — but a failed fold travels as a poison message (forward), so
+	// every downstream rank fails the bucket too instead of silently
+	// adopting a partial sum. Rank-failure folds use the typed poison, which
+	// keeps ErrRankDown visible on every survivor.
 	if h.nextLeader >= 0 {
 		fail(s.forward(h.nextLeader, tagHierChain+t, sum, jobErr))
 		// Not the final node: the global sum comes back from the final
@@ -662,15 +665,10 @@ func (s *Stream) recvSumInto(reuse []float32, req *mpi.Request, width int, jobEr
 	}
 	s.stats.BytesRecv += int64(len(b))
 	if len(b) != 4*width {
+		err := poisonError(b, width)
 		mpi.PutBytes(b)
 		if *jobErr == nil {
-			if len(b) == 0 && width > 0 {
-				// Zero-length poison: an upstream rank's fold failed and it
-				// propagated the failure instead of a partial sum.
-				*jobErr = fmt.Errorf("allreduce: upstream rank failed this bucket")
-			} else {
-				*jobErr = fmt.Errorf("allreduce: hierarchical payload %d bytes, want %d", len(b), 4*width)
-			}
+			*jobErr = err
 		}
 		return nil
 	}
@@ -694,14 +692,66 @@ func (s *Stream) sendRaw(dst, tag int, data []float32) error {
 	return err
 }
 
+// Poison messages mark a failed upstream fold on the hierarchical chain.
+// Two encodings, both distinguishable from real payloads by length (real
+// partials are 4-byte-aligned and never zero for a non-empty bucket):
+//
+//	[]                       generic failure — fail the bucket downstream
+//	[poisonRankDown rank:4]  a rank died — fail the bucket downstream AND
+//	                         preserve the ErrRankDown typing plus the victim,
+//	                         which the recovery layer needs to resize around.
+//
+// poisonLen is odd on purpose: a 5-byte message can never collide with a
+// 4·width float payload.
+const (
+	poisonRankDown = 0xFD
+	poisonLen      = 5
+)
+
+// errPoisoned is the cause recorded on a relayed rank failure: this rank
+// learned of the death from an upstream poison message, not firsthand.
+var errPoisoned = errors.New("allreduce: upstream fold poisoned by rank failure")
+
+// poisonError decodes a non-payload (poison or malformed) chain message into
+// the bucket error it represents.
+func poisonError(b []byte, width int) error {
+	switch {
+	case len(b) == poisonLen && b[0] == poisonRankDown:
+		r := int(int32(binary.LittleEndian.Uint32(b[1:])))
+		return &mpi.RankDownError{Rank: r, Cause: errPoisoned}
+	case len(b) == 0 && width > 0:
+		return fmt.Errorf("allreduce: upstream rank failed this bucket")
+	default:
+		return fmt.Errorf("allreduce: hierarchical payload %d bytes, want %d", len(b), 4*width)
+	}
+}
+
 // forward ships a chain partial or final sum downstream, or — when this
-// rank's fold already failed — a zero-length poison message, so downstream
-// ranks fail the bucket instead of silently folding a corrupt partial.
+// rank's fold already failed — a poison message, so downstream ranks fail
+// the bucket instead of silently folding a corrupt partial. A rank-failure
+// fold error travels as typed poison carrying the dead rank; anything else
+// as the legacy zero-length poison.
 func (s *Stream) forward(dst, tag int, sum []float32, jobErr error) error {
 	if jobErr != nil {
+		if r := mpi.DownRank(jobErr); r >= 0 {
+			return s.sendPoison(dst, tag, r)
+		}
 		return s.sendRaw(dst, tag, nil)
 	}
 	return s.sendRaw(dst, tag, sum)
+}
+
+// sendPoison ships a typed rank-down poison message.
+func (s *Stream) sendPoison(dst, tag, downRank int) error {
+	b := mpi.GetBytes(poisonLen)
+	b[0] = poisonRankDown
+	binary.LittleEndian.PutUint32(b[1:], uint32(downRank))
+	err := s.c.SendOwned(dst, tag, b)
+	if err == nil {
+		s.stats.BytesSent += poisonLen
+		s.stats.RawBytes += poisonLen
+	}
+	return err
 }
 
 // emitHier finishes a hierarchical bucket: account it, surface the result,

@@ -1,0 +1,204 @@
+// Resize round-trip property: a checkpoint is a rank-count-independent
+// artifact. Saving at world W and restoring at any world W′ — shrinking or
+// growing — must reproduce the exact state, and training resumed from the
+// round-tripped snapshot must be bitwise identical to a run that never
+// stopped. This is the invariant elastic recovery leans on when a crash (or
+// rejoin) changes the world size between capture and restore.
+//
+// The test lives in an external package because it drives full learners:
+// core imports checkpoint, so the in-package tests cannot.
+package checkpoint_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/sgd"
+)
+
+const (
+	resizeHomeWorld = 4 // the world size that trains and is compared bitwise
+	resizeSaveStep  = 3 // steps before the capture
+	resizeMoreSteps = 3 // steps after the round-trip restore
+	resizeBatch     = 12
+)
+
+func resizeLearnerConfig() core.Config {
+	return core.Config{
+		Schedule:       sgd.Const(0.05),
+		SGD:            sgd.DefaultConfig(),
+		Compression:    compress.Config{Codec: "none"},
+		ShardOptimizer: true,
+	}
+}
+
+// runResizeWorld trains for steps at the given world size, restoring snap
+// first when non-nil (startStep keeps the data stream aligned), and returns
+// rank 0's final checkpoint bytes and flat weights. The model —
+// SmallBNFreeCNN at 4 ranks — deliberately includes a rank whose parameter
+// shard is empty, so the capture/restore path is exercised on degenerate
+// shards too.
+func runResizeWorld(t *testing.T, world, startStep, steps int, snap []byte) (ckBytes []byte, weights []float32) {
+	t.Helper()
+	x, labels := core.SyntheticTensorData(72, 4, 8, 1)
+	w := mpi.NewWorld(world)
+	defer w.Close()
+	err := w.Run(func(c *mpi.Comm) error {
+		rank := c.Rank()
+		src := &core.SliceSource{X: x, Labels: labels, Rank: rank, Ranks: world, StartStep: startStep}
+		cfg := resizeLearnerConfig()
+		cfg.BatchPerDevice = resizeBatch / world
+		l, err := core.NewLearner(c, []nn.Layer{core.SmallBNFreeCNN(4, 8, int64(rank+1))}, src, 3, 8, 8, cfg)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		if snap != nil {
+			ck, err := checkpoint.Read(bytes.NewReader(snap))
+			if err != nil {
+				return err
+			}
+			if err := l.RestoreCheckpoint(ck); err != nil {
+				return err
+			}
+		}
+		for s := 0; s < steps; s++ {
+			if _, err := l.Step(); err != nil {
+				return fmt.Errorf("rank %d step %d: %w", rank, s, err)
+			}
+		}
+		ck, err := l.CaptureCheckpoint(0)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			var buf bytes.Buffer
+			if _, err := ck.WriteTo(&buf); err != nil {
+				return err
+			}
+			ckBytes = buf.Bytes()
+			weights, err = l.FlatWeights()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckBytes, weights
+}
+
+// roundTripThroughWorld restores snap into a fresh world of the given size,
+// immediately recaptures, and returns the recaptured bytes. No training
+// happens at this world — it only proves the snapshot survives the resize.
+func roundTripThroughWorld(t *testing.T, world int, snap []byte) []byte {
+	t.Helper()
+	out, _ := runResizeWorld(t, world, resizeSaveStep, 0, snap)
+	return out
+}
+
+// A snapshot saved at the home world must restore at every other world size
+// — shrunk and grown — recapture to the identical bytes there, and, once
+// brought back home, resume training to the bitwise weights of a run that
+// was never interrupted.
+func TestCheckpointResizeRoundTripBitwise(t *testing.T) {
+	// The uninterrupted reference and the capture point, both at home size.
+	_, uninterrupted := runResizeWorld(t, resizeHomeWorld, 0, resizeSaveStep+resizeMoreSteps, nil)
+	saved, _ := runResizeWorld(t, resizeHomeWorld, 0, resizeSaveStep, nil)
+
+	for _, world := range []int{2, 3, 5, 6} {
+		t.Run(fmt.Sprintf("through-world-%d", world), func(t *testing.T) {
+			reprinted := roundTripThroughWorld(t, world, saved)
+			if !bytes.Equal(reprinted, saved) {
+				t.Fatalf("checkpoint bytes changed through a world-%d round trip: %d vs %d bytes",
+					world, len(reprinted), len(saved))
+			}
+			_, resumed := runResizeWorld(t, resizeHomeWorld, resizeSaveStep, resizeMoreSteps, reprinted)
+			if len(resumed) != len(uninterrupted) {
+				t.Fatalf("weight lengths differ: %d vs %d", len(resumed), len(uninterrupted))
+			}
+			for i := range resumed {
+				if resumed[i] != uninterrupted[i] {
+					t.Fatalf("weight %d differs after resume through world %d: %v vs %v",
+						i, world, resumed[i], uninterrupted[i])
+				}
+			}
+		})
+	}
+}
+
+// Replicated-mode snapshots resize the same way: capture is local, restore
+// re-fans the full state into however many devices the new learner has.
+func TestCheckpointResizeReplicatedMode(t *testing.T) {
+	run := func(world, startStep, steps int, snap []byte) ([]byte, []float32) {
+		t.Helper()
+		x, labels := core.SyntheticTensorData(72, 4, 8, 1)
+		w := mpi.NewWorld(world)
+		defer w.Close()
+		var ckBytes []byte
+		var weights []float32
+		err := w.Run(func(c *mpi.Comm) error {
+			rank := c.Rank()
+			src := &core.SliceSource{X: x, Labels: labels, Rank: rank, Ranks: world, StartStep: startStep}
+			cfg := resizeLearnerConfig()
+			cfg.ShardOptimizer = false
+			cfg.BatchPerDevice = resizeBatch / world
+			l, err := core.NewLearner(c, []nn.Layer{core.SmallBNFreeCNN(4, 8, int64(rank+1))}, src, 3, 8, 8, cfg)
+			if err != nil {
+				return err
+			}
+			defer l.Close()
+			if snap != nil {
+				ck, err := checkpoint.Read(bytes.NewReader(snap))
+				if err != nil {
+					return err
+				}
+				if err := l.RestoreCheckpoint(ck); err != nil {
+					return err
+				}
+			}
+			for s := 0; s < steps; s++ {
+				if _, err := l.Step(); err != nil {
+					return err
+				}
+			}
+			ck, err := l.CaptureCheckpoint(0)
+			if err != nil {
+				return err
+			}
+			if rank == 0 {
+				var buf bytes.Buffer
+				if _, err := ck.WriteTo(&buf); err != nil {
+					return err
+				}
+				ckBytes = buf.Bytes()
+				weights, err = l.FlatWeights()
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ckBytes, weights
+	}
+
+	_, uninterrupted := run(resizeHomeWorld, 0, resizeSaveStep+resizeMoreSteps, nil)
+	saved, _ := run(resizeHomeWorld, 0, resizeSaveStep, nil)
+	reprinted, _ := run(2, resizeSaveStep, 0, saved)
+	if !bytes.Equal(reprinted, saved) {
+		t.Fatal("replicated checkpoint bytes changed through a world-2 round trip")
+	}
+	_, resumed := run(resizeHomeWorld, resizeSaveStep, resizeMoreSteps, reprinted)
+	for i := range resumed {
+		if resumed[i] != uninterrupted[i] {
+			t.Fatalf("replicated weight %d differs after resume: %v vs %v", i, resumed[i], uninterrupted[i])
+		}
+	}
+}

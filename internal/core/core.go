@@ -96,7 +96,15 @@ type SliceSource struct {
 	Labels []int
 	Rank   int
 	Ranks  int
-	step   int
+	// StartStep offsets the dealing clock: the first NextBatch serves the
+	// rows of global step StartStep. A run resumed from a checkpoint at
+	// step k sets StartStep=k so the data stream continues where the
+	// snapshot left off — with GlobalBatch held constant, the union over
+	// ranks is then the same global batch sequence at any world size,
+	// which keeps post-recovery loss trajectories comparable to a
+	// failure-free run.
+	StartStep int
+	step      int
 }
 
 // NextBatch implements BatchSource. When the dataset size is not a multiple
@@ -108,7 +116,7 @@ func (s *SliceSource) NextBatch(x *tensor.Tensor, labels []int) error {
 	if bNode > n {
 		return fmt.Errorf("core: node batch %d larger than dataset %d", bNode, n)
 	}
-	start := (s.step*bNode*s.Ranks + s.Rank*bNode) % n
+	start := ((s.StartStep+s.step)*bNode*s.Ranks + s.Rank*bNode) % n
 	rowLen := s.X.Len() / n
 	first := bNode
 	if start+first > n {

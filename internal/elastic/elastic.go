@@ -1,0 +1,684 @@
+// Package elastic runs fault-tolerant data-parallel training over the
+// in-process MPI runtime: a cluster that survives rank crashes by shrinking
+// to the live membership, restoring from the latest rank-count-independent
+// checkpoint, and resuming — and that grows back through the same resize
+// path when a rank rejoins.
+//
+// The unit of execution is an incarnation: one mpi.World at the current
+// membership size running the training loop from the resume step. A crash
+// (injected through mpi.FaultInjector at the top of a step) fails the
+// victim's collectives on every survivor as a typed mpi.ErrRankDown; the
+// survivors then agree on the new membership with a leader-coordinated
+// protocol over a dedicated control sub-communicator, the incarnation is
+// torn down, and the next one starts at the smaller world size. ZeRO-1
+// shard bounds are re-derived automatically by the learner at the new size,
+// and the sharded checkpoint restores into any world because it is
+// full-state.
+//
+// Membership agreement is probe-based: each survivor sends its HELLO upward
+// from rank 0 — sends to crashed ranks fail immediately, so the first
+// successful send finds the lowest live rank, which becomes the leader (a
+// survivor whose every lower rank is dead leads itself). The leader probes
+// the higher ranks for liveness, collects their HELLOs (each carries the
+// sender's checkpoint step, which must agree with the leader's — captures
+// are collective, so every survivor's latest snapshot is the same step),
+// and broadcasts a VERDICT carrying the new member list and the serialized
+// checkpoint everyone resumes from.
+//
+// GlobalBatch is held constant across resizes: each incarnation deals the
+// same global batch sequence regardless of world size (core.SliceSource
+// with StartStep), so the post-recovery loss trajectory is comparable to a
+// failure-free run.
+package elastic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Control-plane tags on the negotiation sub-communicator (user tag space).
+const (
+	tagHello   = 1 // survivor → leader: 8-byte checkpoint step
+	tagProbe   = 2 // leader → higher ranks: liveness probe, never received
+	tagVerdict = 3 // leader → survivors: member list + checkpoint bytes
+)
+
+// Event kinds.
+const (
+	KindCrash  = "crash"
+	KindRejoin = "rejoin"
+)
+
+// Plan declares the faults an elastic run is subjected to, keyed by trainer
+// identity (the stable 0..Identities-1 id, not the per-incarnation world
+// rank). It extends mpi.FaultPlan with rejoin scheduling.
+type Plan struct {
+	// Seed drives the deterministic message-drop decisions.
+	Seed int64
+	// CrashAtStep kills the identity at the start of that global step. Each
+	// identity crashes at most once, even if recovery recomputes the step.
+	CrashAtStep map[int]int
+	// RejoinAtStep brings a previously crashed identity back at that global
+	// step: the cluster checkpoints, tears down, and restarts one rank
+	// larger — the same resize path a crash uses, grown instead of shrunk.
+	// The step must be after the identity's crash step.
+	RejoinAtStep map[int]int
+	// DropProb / DetectTimeout / Slow pass through to mpi.FaultPlan for
+	// every incarnation. DetectTimeout defaults to 5s when zero: elastic
+	// training REQUIRES a failure detector, because crash notification
+	// alone cannot cover every race — a rank whose sends to the victim
+	// completed just before the crash landed (e.g. an empty-shard rank
+	// that only sends in the reduce-scatter) finishes its exchange cleanly
+	// and blocks in the params allgather waiting on survivors that already
+	// errored out; the timeout turns that into a typed failure. It should
+	// comfortably exceed one step's duration to avoid false positives —
+	// though a false positive is benign: the probe-based negotiation finds
+	// every rank alive and the run restarts at the same size from the last
+	// snapshot. With drops enabled the control plane is exposed to them
+	// too (it shares the fabric).
+	DropProb      float64
+	DetectTimeout time.Duration
+	Slow          map[int]mpi.LinkProfile
+}
+
+// Config describes an elastic training run.
+type Config struct {
+	// Identities is the initial world size; trainer identities are
+	// 0..Identities-1 and stay stable across resizes.
+	Identities int
+	// DevicesPerNode is the replica count per rank (default 1).
+	DevicesPerNode int
+	// GlobalBatch is the total batch per step, constant across resizes. It
+	// must divide evenly by liveRanks·DevicesPerNode at every world size
+	// the run passes through.
+	GlobalBatch int
+	// Steps is the total number of global steps to complete.
+	Steps int
+	// CheckpointEvery is the capture cadence in steps (default 1). An
+	// incarnation always captures at its resume step, so there is a
+	// restorable snapshot before any crash can land.
+	CheckpointEvery int
+	// NewReplica builds one model replica from a seed.
+	NewReplica func(seed int64) nn.Layer
+	// Data/Labels with the input dimensions feed core.SliceSource.
+	Data                   *tensor.Tensor
+	Labels                 []int
+	InputC, InputH, InputW int
+	// Learner is the core.Config template. BatchPerDevice is derived from
+	// GlobalBatch per incarnation; GradScale should stay zero so the
+	// learner rescales to 1/(ranks·devices) at each world size; Topology
+	// is rejected (a fixed rank→node layout cannot survive a resize).
+	Learner core.Config
+	// Plan schedules the faults.
+	Plan Plan
+}
+
+// Event records one elasticity event: a crash that shrank the world or a
+// rejoin that grew it.
+type Event struct {
+	Kind     string `json:"kind"`
+	Step     int    `json:"step"`     // global step the event fired at
+	Identity int    `json:"identity"` // victim or rejoiner
+	OldWorld int    `json:"old_world"`
+	NewWorld int    `json:"new_world"`
+	// ResumeStep is where the next incarnation picked up (the restored
+	// checkpoint's step); StepsLost counts the recomputed steps.
+	ResumeStep int `json:"resume_step"`
+	StepsLost  int `json:"steps_lost"`
+	// RecoverySec spans from the moment the failure surfaced (or the
+	// rejoin boundary was reached) to the first completed step of the next
+	// incarnation — membership negotiation, world rebuild, and restore.
+	RecoverySec float64 `json:"recovery_sec"`
+}
+
+// Result is the outcome of an elastic run that completed every step.
+type Result struct {
+	Steps        int       `json:"steps"`
+	Incarnations int       `json:"incarnations"`
+	Events       []Event   `json:"events"`
+	Losses       []float64 `json:"losses"` // global mean loss per step
+	FinalLoss    float64   `json:"final_loss"`
+	FinalWeights []float32 `json:"-"` // rank 0's weights after the last step
+}
+
+// verdict is the outcome of one membership negotiation: the surviving world
+// ranks (of the incarnation that failed) and the checkpoint to resume from.
+type verdict struct {
+	members []int
+	ck      *checkpoint.Checkpoint
+}
+
+// incOut is everything one incarnation reports back to the orchestrator.
+type incOut struct {
+	done         bool
+	kind         string // KindCrash or KindRejoin when !done
+	verdict      *verdict
+	stopStep     int       // step the incarnation stopped at
+	stoppedAt    time.Time // when the failure surfaced / boundary was hit
+	firstStepAt  time.Time // when the first step of this incarnation completed
+	losses       [][]float64
+	finalWeights []float32
+}
+
+// Run executes the elastic training loop to completion, surviving every
+// scheduled crash and rejoin, and returns the stitched-together result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.DevicesPerNode <= 0 {
+		cfg.DevicesPerNode = 1
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.Plan.DetectTimeout <= 0 {
+		cfg.Plan.DetectTimeout = 5 * time.Second
+	}
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+
+	members := make([]int, cfg.Identities)
+	for i := range members {
+		members[i] = i
+	}
+	fired := make(map[int]bool) // identities whose crash already happened
+	var snap *checkpoint.Checkpoint
+	resumeStep := 0
+
+	res := &Result{Losses: make([]float64, cfg.Steps)}
+	var pending []int // indexes into res.Events awaiting RecoverySec
+	var stoppedAt time.Time
+	for {
+		res.Incarnations++
+		out, err := runIncarnation(&cfg, members, snap, resumeStep, fired)
+		if err != nil {
+			return nil, err
+		}
+		if len(pending) > 0 && !out.firstStepAt.IsZero() {
+			lat := out.firstStepAt.Sub(stoppedAt).Seconds()
+			for _, i := range pending {
+				res.Events[i].RecoverySec = lat
+			}
+			pending = nil
+		}
+		mergeLosses(res, out, resumeStep, len(members))
+		if out.done {
+			res.Steps = cfg.Steps
+			res.FinalWeights = out.finalWeights
+			res.FinalLoss = res.Losses[cfg.Steps-1]
+			return res, nil
+		}
+
+		v := out.verdict
+		var next []int
+		switch out.kind {
+		case KindCrash:
+			for _, wr := range v.members {
+				next = append(next, members[wr])
+			}
+			for _, id := range diffIdentities(members, next) {
+				fired[id] = true
+				res.Events = append(res.Events, Event{
+					Kind: KindCrash, Step: out.stopStep, Identity: id,
+					OldWorld: len(members), NewWorld: len(next),
+					ResumeStep: int(v.ck.Step),
+					StepsLost:  out.stopStep - int(v.ck.Step),
+				})
+				pending = append(pending, len(res.Events)-1)
+			}
+		case KindRejoin:
+			next = append(next, members...)
+			for _, id := range rejoinersAt(&cfg, members, out.stopStep) {
+				next = append(next, id)
+				res.Events = append(res.Events, Event{
+					Kind: KindRejoin, Step: out.stopStep, Identity: id,
+					OldWorld: len(members), NewWorld: len(members) + 1,
+					ResumeStep: int(v.ck.Step),
+				})
+				pending = append(pending, len(res.Events)-1)
+			}
+			sort.Ints(next)
+		default:
+			return nil, fmt.Errorf("elastic: incarnation stopped with unknown kind %q", out.kind)
+		}
+		if len(next) == 0 {
+			return nil, errors.New("elastic: no members left to resume with")
+		}
+		members, snap, resumeStep = next, v.ck, int(v.ck.Step)
+		stoppedAt = out.stoppedAt
+	}
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Identities <= 0:
+		return errors.New("elastic: Identities must be positive")
+	case cfg.Steps <= 0:
+		return errors.New("elastic: Steps must be positive")
+	case cfg.GlobalBatch <= 0:
+		return errors.New("elastic: GlobalBatch must be positive")
+	case cfg.NewReplica == nil:
+		return errors.New("elastic: NewReplica is required")
+	case cfg.Data == nil:
+		return errors.New("elastic: Data is required")
+	case cfg.Learner.Topology.IsSet():
+		return errors.New("elastic: Learner.Topology cannot survive a resize; leave the world flat")
+	case cfg.Learner.GradScale != 0:
+		return errors.New("elastic: Learner.GradScale must stay zero so gradients rescale per world size")
+	}
+	for id, rs := range cfg.Plan.RejoinAtStep {
+		cs, ok := cfg.Plan.CrashAtStep[id]
+		if !ok {
+			return fmt.Errorf("elastic: identity %d rejoins at step %d but never crashes", id, rs)
+		}
+		if rs <= cs {
+			return fmt.Errorf("elastic: identity %d rejoins at step %d, not after its crash at step %d", id, rs, cs)
+		}
+		if rs >= cfg.Steps {
+			return fmt.Errorf("elastic: identity %d rejoins at step %d, past the run's %d steps", id, rs, cfg.Steps)
+		}
+	}
+	return nil
+}
+
+// runIncarnation runs one world at the current membership from resumeStep
+// until the run completes, a crash fails a step, or a rejoin boundary is
+// reached.
+func runIncarnation(cfg *Config, members []int, snap *checkpoint.Checkpoint, resumeStep int, fired map[int]bool) (*incOut, error) {
+	n := len(members)
+	if cfg.GlobalBatch%(n*cfg.DevicesPerNode) != 0 {
+		return nil, fmt.Errorf("elastic: GlobalBatch %d does not divide across %d ranks × %d devices", cfg.GlobalBatch, n, cfg.DevicesPerNode)
+	}
+	bpd := cfg.GlobalBatch / (n * cfg.DevicesPerNode)
+
+	w := mpi.NewWorld(n)
+	defer w.Close()
+	inj := w.InjectFaults(incarnationPlan(cfg, members, fired))
+
+	out := &incOut{losses: make([][]float64, n)}
+	var (
+		mu        sync.Mutex
+		firstStep sync.Once
+		verdicts  = make([]*verdict, n)
+		doneRanks int
+	)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+
+	err := w.Run(func(c *mpi.Comm) error {
+		rank := c.Rank()
+		// The control sub-communicator: an isolated context so negotiation
+		// traffic can never collide with in-flight training collectives.
+		ctrl, err := c.Sub(all)
+		if err != nil {
+			return err
+		}
+		lcfg := cfg.Learner
+		lcfg.BatchPerDevice = bpd
+		replicas := make([]nn.Layer, cfg.DevicesPerNode)
+		for d := range replicas {
+			replicas[d] = cfg.NewReplica(int64(rank*cfg.DevicesPerNode + d + 1))
+		}
+		src := &core.SliceSource{X: cfg.Data, Labels: cfg.Labels, Rank: rank, Ranks: n, StartStep: resumeStep}
+		l, err := core.NewLearner(c, replicas, src, cfg.InputC, cfg.InputH, cfg.InputW, lcfg)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		if snap != nil {
+			if err := l.RestoreCheckpoint(snap); err != nil {
+				return err
+			}
+		}
+		ck := snap
+		myLosses := make([]float64, 0, cfg.Steps-resumeStep)
+		record := func() {
+			mu.Lock()
+			out.losses[rank] = myLosses
+			mu.Unlock()
+		}
+
+		for s := resumeStep; s < cfg.Steps; s++ {
+			if len(rejoinersAt(cfg, members, s)) > 0 {
+				// Voluntary incarnation boundary: checkpoint fresh at this
+				// step (every rank evaluates the same condition, so the
+				// collective capture lines up) and exit; the orchestrator
+				// restarts the world one rank larger.
+				ck2, err := l.CaptureCheckpoint(epochOf(cfg, s))
+				if err != nil {
+					record()
+					return fmt.Errorf("elastic: rank %d rejoin checkpoint at step %d: %w", rank, s, err)
+				}
+				mu.Lock()
+				out.kind = KindRejoin
+				out.stopStep = s
+				if out.stoppedAt.IsZero() {
+					out.stoppedAt = time.Now()
+				}
+				verdicts[rank] = &verdict{members: all, ck: ck2}
+				mu.Unlock()
+				record()
+				return nil
+			}
+			// Capture at the cadence, plus once at the resume step so a
+			// snapshot always exists before any crash can land. Crashes
+			// fire at the top of a step, after this point — so a capture
+			// in progress is never interrupted, and every rank's latest
+			// successful snapshot is the same step.
+			if s%cfg.CheckpointEvery == 0 || s == resumeStep {
+				if !(s == resumeStep && ck != nil) { // resuming: snap already is step s
+					ck2, err := l.CaptureCheckpoint(epochOf(cfg, s))
+					if err != nil {
+						record()
+						return fmt.Errorf("elastic: rank %d checkpoint at step %d: %w", rank, s, err)
+					}
+					ck = ck2
+				}
+			}
+			if err := inj.Tick(rank, s); err != nil {
+				record()
+				return nil // this rank is the victim: die silently
+			}
+			loss, err := l.Step()
+			if err != nil {
+				if !errors.Is(err, mpi.ErrRankDown) {
+					record()
+					return fmt.Errorf("elastic: rank %d step %d: %w", rank, s, err)
+				}
+				mu.Lock()
+				out.kind = KindCrash
+				if out.stoppedAt.IsZero() {
+					out.stoppedAt = time.Now()
+					out.stopStep = s
+				} else if s < out.stopStep {
+					out.stopStep = s
+				}
+				mu.Unlock()
+				v, nerr := negotiate(ctrl, ck)
+				if nerr != nil {
+					record()
+					return fmt.Errorf("elastic: rank %d membership negotiation: %w", rank, nerr)
+				}
+				mu.Lock()
+				verdicts[rank] = v
+				mu.Unlock()
+				record()
+				return nil
+			}
+			myLosses = append(myLosses, loss)
+			firstStep.Do(func() {
+				mu.Lock()
+				out.firstStepAt = time.Now()
+				mu.Unlock()
+			})
+		}
+		mu.Lock()
+		doneRanks++
+		mu.Unlock()
+		if rank == 0 {
+			wts, err := l.FlatWeights()
+			if err != nil {
+				record()
+				return err
+			}
+			mu.Lock()
+			out.finalWeights = wts
+			mu.Unlock()
+		}
+		record()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if doneRanks == n {
+		out.done = true
+		return out, nil
+	}
+	var v *verdict
+	for _, cand := range verdicts {
+		if cand == nil {
+			continue
+		}
+		if v == nil {
+			v = cand
+			continue
+		}
+		if !equalInts(v.members, cand.members) || v.ck.Step != cand.ck.Step {
+			return nil, fmt.Errorf("elastic: survivors disagree on the recovery verdict (%v@%d vs %v@%d)",
+				v.members, v.ck.Step, cand.members, cand.ck.Step)
+		}
+	}
+	if v == nil {
+		return nil, fmt.Errorf("elastic: every rank of the %d-rank world failed; nothing left to recover", n)
+	}
+	out.verdict = v
+	return out, nil
+}
+
+// incarnationPlan maps the identity-keyed fault plan onto this
+// incarnation's world ranks, skipping crashes that already fired (recovery
+// may recompute the crash step; the victim must not die twice).
+func incarnationPlan(cfg *Config, members []int, fired map[int]bool) mpi.FaultPlan {
+	plan := mpi.FaultPlan{
+		Seed:          cfg.Plan.Seed,
+		DropProb:      cfg.Plan.DropProb,
+		DetectTimeout: cfg.Plan.DetectTimeout,
+	}
+	for wr, id := range members {
+		if s, ok := cfg.Plan.CrashAtStep[id]; ok && !fired[id] {
+			if plan.CrashAtStep == nil {
+				plan.CrashAtStep = make(map[int]int)
+			}
+			plan.CrashAtStep[wr] = s
+		}
+		if lp, ok := cfg.Plan.Slow[id]; ok {
+			if plan.Slow == nil {
+				plan.Slow = make(map[int]mpi.LinkProfile)
+			}
+			plan.Slow[wr] = lp
+		}
+	}
+	return plan
+}
+
+// negotiate is the leader-coordinated membership agreement a survivor runs
+// after its step fails with ErrRankDown. Probe-send the HELLO upward from
+// rank 0: sends to crashed ranks fail immediately, so the first delivery
+// finds the lowest live rank — the leader. The leader probes every higher
+// rank for liveness, collects the live ones' HELLOs (verifying their
+// checkpoint step matches its own), and broadcasts the VERDICT: the member
+// list plus the serialized checkpoint everyone resumes from.
+func negotiate(ctrl *mpi.Comm, ck *checkpoint.Checkpoint) (*verdict, error) {
+	if ck == nil {
+		return nil, errors.New("no checkpoint to recover from")
+	}
+	var hello [8]byte
+	binary.LittleEndian.PutUint64(hello[:], uint64(ck.Step))
+	leader := ctrl.Rank()
+	for q := 0; q < ctrl.Rank(); q++ {
+		if err := ctrl.Send(q, tagHello, hello[:]); err == nil {
+			leader = q
+			break
+		}
+		// Send failed: q is down. Keep probing upward.
+	}
+	if leader != ctrl.Rank() {
+		b, err := recvRetry(ctrl, leader, tagVerdict)
+		if err != nil {
+			return nil, fmt.Errorf("awaiting verdict from leader %d: %w", leader, err)
+		}
+		v, err := parseVerdict(b)
+		mpi.PutBytes(b)
+		return v, err
+	}
+
+	// Every lower rank is dead: this rank leads.
+	live := []int{leader}
+	for q := leader + 1; q < ctrl.Size(); q++ {
+		if err := ctrl.Send(q, tagProbe, nil); err != nil {
+			continue // dead
+		}
+		live = append(live, q)
+	}
+	for _, q := range live[1:] {
+		b, err := recvRetry(ctrl, q, tagHello)
+		if err != nil {
+			return nil, fmt.Errorf("leader awaiting hello from rank %d: %w", q, err)
+		}
+		step := int64(binary.LittleEndian.Uint64(b))
+		mpi.PutBytes(b)
+		if step != ck.Step {
+			return nil, fmt.Errorf("rank %d recovered to step %d but the leader holds step %d", q, step, ck.Step)
+		}
+	}
+	payload, err := encodeVerdict(live, ck)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range live[1:] {
+		if err := ctrl.Send(q, tagVerdict, payload); err != nil {
+			return nil, fmt.Errorf("announcing verdict to rank %d: %w", q, err)
+		}
+	}
+	return &verdict{members: live, ck: ck}, nil
+}
+
+// recvRetry receives on the control comm, retrying through timeout-presumed
+// rank failures: negotiation peers are known live (the probe send reached
+// them), just possibly slow — still waiting out their own detection timeout
+// inside a training collective before they drain into the negotiation. A
+// confirmed crash (or retry exhaustion) still fails.
+func recvRetry(ctrl *mpi.Comm, src, tag int) ([]byte, error) {
+	for tries := 20; ; tries-- {
+		b, err := ctrl.Recv(src, tag)
+		if err != nil && tries > 0 && mpi.IsDetectTimeout(err) {
+			continue
+		}
+		return b, err
+	}
+}
+
+func encodeVerdict(members []int, ck *checkpoint.Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(len(members)))
+	buf.Write(u[:])
+	for _, m := range members {
+		binary.LittleEndian.PutUint32(u[:], uint32(m))
+		buf.Write(u[:])
+	}
+	if _, err := ck.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("serializing verdict checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func parseVerdict(b []byte) (*verdict, error) {
+	if len(b) < 4 {
+		return nil, errors.New("short verdict header")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n <= 0 || len(b) < 4*n {
+		return nil, fmt.Errorf("truncated verdict member list (%d members, %d bytes)", n, len(b))
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = int(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	ck, err := checkpoint.Read(bytes.NewReader(b[4*n:]))
+	if err != nil {
+		return nil, fmt.Errorf("decoding verdict checkpoint: %w", err)
+	}
+	return &verdict{members: members, ck: ck}, nil
+}
+
+// rejoinersAt lists the identities scheduled to rejoin at global step s
+// that are not currently members, sorted.
+func rejoinersAt(cfg *Config, members []int, s int) []int {
+	var ids []int
+	for id, rs := range cfg.Plan.RejoinAtStep {
+		if rs != s {
+			continue
+		}
+		present := false
+		for _, m := range members {
+			if m == id {
+				present = true
+				break
+			}
+		}
+		if !present {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// mergeLosses folds one incarnation's per-rank losses into the global
+// per-step mean. Every rank of an incarnation records the same step count
+// (a crash fails the same step everywhere); recomputed steps overwrite the
+// pre-crash values, which the deterministic batch dealing makes identical.
+func mergeLosses(res *Result, out *incOut, resumeStep, ranks int) {
+	steps := -1
+	for _, l := range out.losses {
+		if steps == -1 || len(l) < steps {
+			steps = len(l)
+		}
+	}
+	for i := 0; i < steps; i++ {
+		var sum float64
+		for r := 0; r < ranks; r++ {
+			sum += out.losses[r][i]
+		}
+		res.Losses[resumeStep+i] = sum / float64(ranks)
+	}
+}
+
+func epochOf(cfg *Config, step int) float64 {
+	if cfg.Learner.StepsPerEpoch > 0 {
+		return float64(step) / float64(cfg.Learner.StepsPerEpoch)
+	}
+	return 0
+}
+
+func diffIdentities(old, next []int) []int {
+	keep := make(map[int]bool, len(next))
+	for _, id := range next {
+		keep[id] = true
+	}
+	var gone []int
+	for _, id := range old {
+		if !keep[id] {
+			gone = append(gone, id)
+		}
+	}
+	return gone
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

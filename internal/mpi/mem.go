@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"sync"
+	"time"
 )
 
 // msgQueue is one (src, ctx, tag) FIFO. It is a sliding window over items:
@@ -31,15 +32,23 @@ func (q *msgQueue) pop() ([]byte, bool) {
 // mailbox holds undelivered messages for one rank, matched by (src, ctx, tag).
 // Queue entries persist after draining (keys recur across steps: collective
 // tags cycle in fixed bands), keeping put/get allocation-free in steady state.
+//
+// The mailbox is also where failure detection meets message matching: a
+// crashed owner refuses puts (sends to a dead rank fail with ErrRankDown),
+// and a crashed source fails gets once its already-queued messages drain —
+// in-flight data survives the crash, like frames already on a real wire.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues map[msgKey]*msgQueue
-	closed bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queues    map[msgKey]*msgQueue
+	closed    bool
+	owner     int          // world rank owning this mailbox, for rank-down errors
+	ownerDown bool         // owner crashed: puts fail with ErrRankDown
+	down      map[int]bool // crashed source ranks: gets fail once drained
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{queues: make(map[msgKey]*msgQueue)}
+func newMailbox(owner int) *mailbox {
+	m := &mailbox{queues: make(map[msgKey]*msgQueue), owner: owner}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -49,6 +58,9 @@ func (m *mailbox) put(k msgKey, data []byte) error {
 	defer m.mu.Unlock()
 	if m.closed {
 		return ErrClosed
+	}
+	if m.ownerDown {
+		return &RankDownError{Rank: m.owner}
 	}
 	q := m.queues[k]
 	if q == nil {
@@ -72,12 +84,48 @@ func (m *mailbox) get(k msgKey) ([]byte, error) {
 		if m.closed {
 			return nil, ErrClosed
 		}
+		if m.down[k.src] {
+			return nil, &RankDownError{Rank: k.src}
+		}
+		m.cond.Wait()
+	}
+}
+
+// getTimeout is get with a failure-detection deadline: when no matching
+// message arrives within d, the source is presumed dead and a RankDownError
+// is returned. sync.Cond has no timed wait, so a timer broadcasts the
+// condition at the deadline to wake the waiter.
+func (m *mailbox) getTimeout(k msgKey, d time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[k]; q != nil {
+			if msg, ok := q.pop(); ok {
+				return msg, nil
+			}
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		if m.down[k.src] {
+			return nil, &RankDownError{Rank: k.src}
+		}
+		if !time.Now().Before(deadline) {
+			return nil, &RankDownError{Rank: k.src, Cause: errDetectTimeout}
+		}
 		m.cond.Wait()
 	}
 }
 
 // tryGet is get without blocking; ok reports whether a message was available
-// (or the mailbox is closed, in which case err is set).
+// (or the mailbox is closed or the source crashed, in which case err is set).
 func (m *mailbox) tryGet(k msgKey) (data []byte, ok bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -89,7 +137,31 @@ func (m *mailbox) tryGet(k msgKey) (data []byte, ok bool, err error) {
 	if m.closed {
 		return nil, true, ErrClosed
 	}
+	if m.down[k.src] {
+		return nil, true, &RankDownError{Rank: k.src}
+	}
 	return nil, false, nil
+}
+
+// markDown records that the given source rank crashed; blocked gets matching
+// it wake up and fail once their queues drain.
+func (m *mailbox) markDown(rank int) {
+	m.mu.Lock()
+	if m.down == nil {
+		m.down = make(map[int]bool)
+	}
+	m.down[rank] = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// markOwnerDown records that this mailbox's own rank crashed; subsequent puts
+// (sends to it) fail with ErrRankDown.
+func (m *mailbox) markOwnerDown() {
+	m.mu.Lock()
+	m.ownerDown = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 func (m *mailbox) close() {
@@ -112,13 +184,18 @@ type World struct {
 	// classes with separate profiles and byte counters (see
 	// NewTopologyWorld).
 	topo *topoNet
+	// faults, when non-nil, routes every communicator through the fault
+	// injector (see InjectFaults).
+	faults *FaultInjector
+	downMu sync.Mutex
+	down   map[int]bool // ranks crashed via Crash
 }
 
 // NewWorld creates an in-process world with n ranks.
 func NewWorld(n int) *World {
 	w := &World{boxes: make([]*mailbox, n)}
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(i)
 	}
 	return w
 }
@@ -135,6 +212,11 @@ func (w *World) Comm(rank int) (*Comm, error) {
 		tr = &topoTransport{Transport: tr, net: w.topo, rank: rank}
 	} else if w.link != (LinkProfile{}) {
 		tr = &latencyTransport{Transport: tr, link: w.link}
+	}
+	if w.faults != nil {
+		// Outermost: the link wrappers only override sends, so the fault
+		// layer owns Recv (detection timeout) without bypassing them.
+		tr = &faultTransport{Transport: tr, inj: w.faults, rank: rank}
 	}
 	return newComm(tr, rank, group, 1)
 }

@@ -2,10 +2,12 @@ package mpi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPWorld connects ranks over TCP sockets, one listener per rank, for runs
@@ -22,6 +24,7 @@ type TCPWorld struct {
 	accepted  []net.Conn       // inbound, closed on shutdown
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	detect    time.Duration // heartbeat-style Recv deadline; 0 disables
 }
 
 const tcpFrameHeader = 4 + 8 + 4 + 4
@@ -41,7 +44,7 @@ func NewTCPWorld(rank int, addrs []string) (*TCPWorld, error) {
 		rank:     rank,
 		addrs:    append([]string(nil), addrs...),
 		listener: ln,
-		box:      newMailbox(),
+		box:      newMailbox(rank),
 		conns:    make(map[int]net.Conn),
 	}
 	w.wg.Add(1)
@@ -55,6 +58,14 @@ func (w *TCPWorld) Addr() string { return w.listener.Addr().String() }
 // SetAddrs replaces the peer address table (used after dynamic port
 // assignment, before any Send).
 func (w *TCPWorld) SetAddrs(addrs []string) { w.addrs = append([]string(nil), addrs...) }
+
+// SetDetectTimeout enables heartbeat-style failure detection: a Recv that
+// sees no matching message within d presumes the source dead, marks it down
+// (subsequent receives from it fail fast), and returns a *RankDownError.
+// There is no out-of-band heartbeat channel — the expected message IS the
+// heartbeat, which is the right model for a collective pipeline whose peers
+// exchange traffic every bucket. Call before Recv; zero disables.
+func (w *TCPWorld) SetDetectTimeout(d time.Duration) { w.detect = d }
 
 func (w *TCPWorld) acceptLoop() {
 	defer w.wg.Done()
@@ -130,7 +141,9 @@ func (w *TCPWorld) Send(dst int, ctx uint64, tag int, data []byte) error {
 	w.mu.Unlock()
 	PutBytes(frame)
 	if err != nil {
-		return fmt.Errorf("mpi: tcp send to rank %d: %w", dst, err)
+		// A dead peer shows up as a broken connection: surface it as a
+		// rank failure so callers can distinguish it from local errors.
+		return &RankDownError{Rank: dst, Cause: fmt.Errorf("tcp send: %w", err)}
 	}
 	return nil
 }
@@ -158,15 +171,25 @@ func (w *TCPWorld) conn(dst int) (net.Conn, error) {
 	}
 	c, err := net.Dial("tcp", w.addrs[dst])
 	if err != nil {
-		return nil, fmt.Errorf("mpi: tcp dial rank %d (%s): %w", dst, w.addrs[dst], err)
+		return nil, &RankDownError{Rank: dst, Cause: fmt.Errorf("tcp dial %s: %w", w.addrs[dst], err)}
 	}
 	w.conns[dst] = c
 	return c, nil
 }
 
-// Recv implements Transport.
+// Recv implements Transport. With a detection timeout set, a silent source
+// is presumed dead: the Recv returns a *RankDownError and the source is
+// marked down so later receives fail without waiting out the timeout again.
 func (w *TCPWorld) Recv(src int, ctx uint64, tag int) ([]byte, error) {
-	return w.box.get(msgKey{src: src, ctx: ctx, tag: tag})
+	k := msgKey{src: src, ctx: ctx, tag: tag}
+	if w.detect <= 0 {
+		return w.box.get(k)
+	}
+	b, err := w.box.getTimeout(k, w.detect)
+	if err != nil && errors.Is(err, errDetectTimeout) {
+		w.box.markDown(src)
+	}
+	return b, err
 }
 
 // TryRecv implements Transport.
