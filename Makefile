@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench allocs allocs-baseline overlap shard hier chaos lint clean
+.PHONY: all build test race bench allocs allocs-baseline kernels kernels-baseline overlap shard hier chaos lint clean
 
 all: lint build test
 
@@ -32,6 +32,18 @@ allocs:
 allocs-baseline:
 	$(GO) run ./cmd/benchtool -allocs -learners 2 -devices 1 -steps 25 \
 		-allocs-baseline-update
+
+# Compute-kernel throughput (GEMM GFLOP/s, conv fwd+bwd step time at 1 worker
+# vs the full pool, codec GB/s), gated against the committed
+# BENCH_kernels.json baseline (fails if any throughput drops > 2x, or if the
+# conv parallel speedup falls under 2x on a >= 4-CPU machine). Use
+# kernels-baseline to regenerate the committed baseline alongside an
+# intentional change.
+kernels:
+	$(GO) run ./cmd/benchtool -kernels -kernels-baseline BENCH_kernels.json
+
+kernels-baseline:
+	$(GO) run ./cmd/benchtool -kernels -kernels-baseline-update
 
 # The overlap workload CI runs: phased vs reactive schedules of the same
 # comm-heavy job, with the JSON report benchtool uploads as an artifact.

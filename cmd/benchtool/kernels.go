@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/kernels"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// gemmResult is one GEMM shape's throughput at single-worker and full-pool
+// widths.
+type gemmResult struct {
+	M             int     `json:"m"`
+	NDim          int     `json:"n"`
+	KDim          int     `json:"k"`
+	GFLOPSSerial  float64 `json:"gflops_serial"`
+	GFLOPSPool    float64 `json:"gflops_pool"`
+	ParallelGain  float64 `json:"parallel_gain"`
+	IterationsRun int     `json:"iterations"`
+}
+
+// kernelsReport is the JSON schema of the -kernels workload; BENCH_kernels.json
+// at the repo root is one of these, and CI gates on it. Throughput numbers are
+// all higher-is-better, which is what the baseline check assumes.
+type kernelsReport struct {
+	Workload   string `json:"workload"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Workers    int    `json:"workers"`
+
+	Gemm []gemmResult `json:"gemm"`
+
+	// Conv step time (forward+backward, ms) at 1 worker vs the full pool,
+	// and the resulting speedup — the headline number the issue gates on.
+	ConvBatch        int     `json:"conv_batch"`
+	ConvMsSerial     float64 `json:"conv_ms_serial"`
+	ConvMsPool       float64 `json:"conv_ms_pool"`
+	ConvSpeedup      float64 `json:"conv_speedup"`
+	ConvThroughputIS float64 `json:"conv_images_per_sec"`
+
+	// Codec throughputs in GB/s of uncompressed float bytes processed.
+	Int8EncodeGBs     float64 `json:"int8_encode_gbs"`
+	Int8DecodeGBs     float64 `json:"int8_decode_gbs"`
+	Int8DecodeAddGBs  float64 `json:"int8_decode_add_gbs"`
+	IdentityAddGBs    float64 `json:"identity_decode_add_gbs"`
+	TopKEncodeGBs     float64 `json:"topk_encode_gbs"`
+	CodecBucketFloats int     `json:"codec_bucket_floats"`
+}
+
+// timeIt runs fn repeatedly until the total exceeds a floor (after one
+// warmup call) and returns the mean seconds per call.
+func timeIt(fn func()) (secs float64, iters int) {
+	fn() // warmup: fault in scratch, populate pools
+	const floor = 150 * time.Millisecond
+	var elapsed time.Duration
+	for elapsed < floor {
+		start := time.Now()
+		fn()
+		elapsed += time.Since(start)
+		iters++
+	}
+	return elapsed.Seconds() / float64(iters), iters
+}
+
+// kernelsWorkload measures compute-kernel throughput: GEMM GFLOP/s at
+// representative shapes, conv forward+backward step time at one worker vs
+// the full pool, and codec encode/decode/fused-accumulate bandwidth. When
+// baselinePath is set, the run fails if any throughput falls below
+// baseline/maxRegress — the CI gate (BENCH_kernels.json). The conv speedup
+// itself is enforced only on machines with >= 4 CPUs, where the >= 2x
+// parallel win is actually available.
+func kernelsWorkload(jsonPath, baselinePath string, maxRegress float64) error {
+	rep := kernelsReport{
+		Workload:   "kernels",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    kernels.Workers(),
+	}
+
+	// GEMM: a square compute-bound shape and the short-wide im2col shape
+	// conv lowers to (outC x outH*outW with a small K).
+	shapes := []struct{ m, n, k int }{
+		{256, 256, 256},
+		{16, 784, 288}, // conv: 16 outC, 28x28 output, 8*6*6 columns
+	}
+	for _, sh := range shapes {
+		a := make([]float32, sh.m*sh.k)
+		b := make([]float32, sh.k*sh.n)
+		c := make([]float32, sh.m*sh.n)
+		for i := range a {
+			a[i] = float32(i%13) * 0.25
+		}
+		for i := range b {
+			b[i] = float32(i%7) * 0.5
+		}
+		flops := 2 * float64(sh.m) * float64(sh.n) * float64(sh.k)
+
+		prev := kernels.SetWorkers(1)
+		sSerial, _ := timeIt(func() { tensor.Gemm(false, false, sh.m, sh.n, sh.k, 1, a, b, 0, c) })
+		kernels.SetWorkers(prev)
+		sPool, iters := timeIt(func() { tensor.Gemm(false, false, sh.m, sh.n, sh.k, 1, a, b, 0, c) })
+
+		r := gemmResult{
+			M: sh.m, NDim: sh.n, KDim: sh.k,
+			GFLOPSSerial:  flops / sSerial / 1e9,
+			GFLOPSPool:    flops / sPool / 1e9,
+			IterationsRun: iters,
+		}
+		r.ParallelGain = r.GFLOPSPool / r.GFLOPSSerial
+		rep.Gemm = append(rep.Gemm, r)
+	}
+
+	// Conv forward+backward: the batch-parallel hot path. One layer, reused
+	// scratch — the steady-state per-step cost.
+	const batch, inC, outC, size = 16, 8, 16, 24
+	rep.ConvBatch = batch
+	rng := tensor.NewRNG(5)
+	conv := nn.NewConv2D("bench", inC, outC, 3, 3, 1, 1, 1, 1, nn.ConvOpts{Bias: true}, rng)
+	x := tensor.New(batch, inC, size, size)
+	rng.FillNormal(x, 0, 1)
+	convStep := func() {
+		out := conv.Forward(x, true)
+		conv.Backward(out)
+	}
+	prev := kernels.SetWorkers(1)
+	sSerial, _ := timeIt(convStep)
+	kernels.SetWorkers(prev)
+	sPool, _ := timeIt(convStep)
+	rep.ConvMsSerial = 1e3 * sSerial
+	rep.ConvMsPool = 1e3 * sPool
+	rep.ConvSpeedup = sSerial / sPool
+	rep.ConvThroughputIS = float64(batch) / sPool
+
+	// Codecs on a 1M-float bucket; GB/s counts uncompressed float bytes.
+	const bucket = 1 << 20
+	rep.CodecBucketFloats = bucket
+	src := make([]float32, bucket)
+	for i := range src {
+		src[i] = float32(i%251)*0.013 - 1.6
+	}
+	gb := 4 * float64(bucket) / 1e9
+	scratch := make([]byte, 0, compress.Int8{}.MaxCompressedSize(bucket))
+	s, _ := timeIt(func() { compress.Int8{}.AppendCompress(scratch[:0], src) })
+	rep.Int8EncodeGBs = gb / s
+	payload := compress.Int8{}.AppendCompress(nil, src)
+	dst := make([]float32, bucket)
+	s, _ = timeIt(func() { _ = compress.Int8{}.Decompress(dst, payload) })
+	rep.Int8DecodeGBs = gb / s
+	s, _ = timeIt(func() { _ = compress.Int8{}.DecompressAdd(dst, payload) })
+	rep.Int8DecodeAddGBs = gb / s
+	idPayload := compress.Identity{}.AppendCompress(nil, src)
+	s, _ = timeIt(func() { _ = compress.Identity{}.DecompressAdd(dst, idPayload) })
+	rep.IdentityAddGBs = gb / s
+	topk := compress.TopK{Ratio: 0.1}
+	topkScratch := make([]byte, 0, topk.MaxCompressedSize(bucket))
+	s, _ = timeIt(func() { topk.AppendCompress(topkScratch[:0], src) })
+	rep.TopKEncodeGBs = gb / s
+
+	fmt.Printf("kernels workload: GOMAXPROCS=%d cpus=%d pool workers=%d\n", rep.GOMAXPROCS, rep.NumCPU, rep.Workers)
+	for _, g := range rep.Gemm {
+		fmt.Printf("  gemm %4dx%4dx%4d: %7.2f GFLOP/s serial, %7.2f GFLOP/s pool (%.2fx)\n",
+			g.M, g.NDim, g.KDim, g.GFLOPSSerial, g.GFLOPSPool, g.ParallelGain)
+	}
+	fmt.Printf("  conv fwd+bwd (batch %d): %7.2f ms serial, %7.2f ms pool (%.2fx, %.0f images/s)\n",
+		batch, rep.ConvMsSerial, rep.ConvMsPool, rep.ConvSpeedup, rep.ConvThroughputIS)
+	fmt.Printf("  int8: encode %.2f GB/s, decode %.2f GB/s, decode+add %.2f GB/s\n",
+		rep.Int8EncodeGBs, rep.Int8DecodeGBs, rep.Int8DecodeAddGBs)
+	fmt.Printf("  identity decode+add %.2f GB/s, topk(0.1) encode %.2f GB/s\n",
+		rep.IdentityAddGBs, rep.TopKEncodeGBs)
+
+	if err := writeReport(jsonPath, "BENCH_kernels.*.json", rep); err != nil {
+		return err
+	}
+
+	if rep.NumCPU >= 4 && rep.GOMAXPROCS >= 4 && rep.ConvSpeedup < 2 {
+		return fmt.Errorf("benchtool: conv fwd+bwd speedup %.2fx at %d procs, want >= 2x",
+			rep.ConvSpeedup, rep.GOMAXPROCS)
+	}
+
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("benchtool: reading kernels baseline: %w", err)
+		}
+		var base kernelsReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("benchtool: parsing kernels baseline %s: %w", baselinePath, err)
+		}
+		check := func(name string, got, want float64) error {
+			if want > 0 && got < want/maxRegress {
+				return fmt.Errorf("benchtool: %s regressed: %.2f vs baseline %.2f (limit %.1fx)",
+					name, got, want, maxRegress)
+			}
+			fmt.Printf("  %-24s %8.2f within %.1fx of baseline %.2f\n", name, got, maxRegress, want)
+			return nil
+		}
+		for i, g := range rep.Gemm {
+			if i >= len(base.Gemm) {
+				break
+			}
+			if err := check(fmt.Sprintf("gemm[%d] GFLOP/s", i), g.GFLOPSPool, base.Gemm[i].GFLOPSPool); err != nil {
+				return err
+			}
+		}
+		for _, m := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"conv images/s", rep.ConvThroughputIS, base.ConvThroughputIS},
+			{"int8 encode GB/s", rep.Int8EncodeGBs, base.Int8EncodeGBs},
+			{"int8 decode GB/s", rep.Int8DecodeGBs, base.Int8DecodeGBs},
+			{"int8 decode+add GB/s", rep.Int8DecodeAddGBs, base.Int8DecodeAddGBs},
+			{"identity decode+add GB/s", rep.IdentityAddGBs, base.IdentityAddGBs},
+			{"topk encode GB/s", rep.TopKEncodeGBs, base.TopKEncodeGBs},
+		} {
+			if err := check(m.name, m.got, m.want); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/allreduce"
@@ -41,7 +42,7 @@ func main() {
 	steps := flag.Int("steps", 60, "steps for the compression/overlap workloads")
 	overlap := flag.Bool("overlap", false, "run the reactive-pipeline overlap workload (phased vs overlapped schedules)")
 	devices := flag.Int("devices", 2, "devices per learner for the overlap workload")
-	jsonPath := flag.String("json", "", "write the workload report (overlap/allocs/shard/hier/chaos) to this JSON file instead of a temp path")
+	jsonPath := flag.String("json", "", "write the workload report (overlap/allocs/shard/hier/chaos/kernels) to this JSON file instead of a temp path")
 	allocs := flag.Bool("allocs", false, "run the allocation-profile workload (allocs/op, bytes/op, GC pauses per step)")
 	shard := flag.Bool("shard", false, "run the ZeRO-1 sharded-optimizer workload (replicated vs sharded: per-rank optimizer-state bytes, step time, bitwise equivalence)")
 	allocsBaseline := flag.String("allocs-baseline", "", "compare the -allocs run against this committed baseline JSON and fail on regression")
@@ -55,7 +56,30 @@ func main() {
 	chaosRejoin := flag.Bool("chaos-rejoin", true, "rejoin each killed rank two steps after its crash, exercising world growth as well as shrinkage")
 	chaosTolerance := flag.Float64("chaos-tolerance", 0.1, "allowed relative final-loss drift vs the failure-free baseline before -chaos exits nonzero")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed for the -chaos workload (equal seeds reproduce the run bit for bit)")
+	kernelsBench := flag.Bool("kernels", false, "run the compute-kernels throughput workload (GEMM GFLOP/s, conv step time, codec GB/s)")
+	kernelsBaseline := flag.String("kernels-baseline", "", "compare the -kernels run against this committed baseline JSON and fail on regression")
+	kernelsMaxRegress := flag.Float64("kernels-max-regress", 2.0, "allowed throughput shrink factor vs the -kernels-baseline")
+	kernelsUpdate := flag.Bool("kernels-baseline-update", false, "write the -kernels report over the committed BENCH_kernels.json baseline (without it, a run with no -json writes to a temp path instead of littering the tree)")
+	procs := flag.Int("procs", 0, "pin GOMAXPROCS (and the kernels pool width) for the overlap/kernels workloads; 0 keeps the runtime default")
 	flag.Parse()
+
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+
+	if *kernelsBench {
+		path := *jsonPath
+		if *kernelsUpdate {
+			if path != "" {
+				log.Fatal("benchtool: -json conflicts with -kernels-baseline-update (the update writes BENCH_kernels.json); pass one or the other")
+			}
+			path = "BENCH_kernels.json"
+		}
+		if err := kernelsWorkload(path, *kernelsBaseline, *kernelsMaxRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *chaos {
 		if err := chaosWorkload(*chaosSeed, *learners, *steps, *chaosKillEvery, *chaosRejoin, *chaosTolerance, *jsonPath); err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/allreduce"
@@ -40,8 +41,13 @@ type overlapRun struct {
 
 // overlapReport is the JSON schema of the overlap workload.
 type overlapReport struct {
-	Workload          string     `json:"workload"`
-	Codec             string     `json:"codec"`
+	Workload string `json:"workload"`
+	Codec    string `json:"codec"`
+	// GOMAXPROCS records the parallelism the run actually had — overlap
+	// efficiency on 1 proc (where compute cannot run while comm goroutines
+	// spin) is not comparable to a multi-core measurement.
+	GOMAXPROCS        int        `json:"gomaxprocs"`
+	NumCPU            int        `json:"num_cpu"`
 	Learners          int        `json:"learners"`
 	DevicesPerNode    int        `json:"devices_per_node"`
 	Steps             int        `json:"steps"`
@@ -160,6 +166,8 @@ func overlapWorkload(codec string, topkRatio float64, learners, devices, steps i
 	rep := overlapReport{
 		Workload:          "overlap",
 		Codec:             codec,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
 		Learners:          learners,
 		DevicesPerNode:    devices,
 		Steps:             steps,

@@ -223,6 +223,10 @@ func (failingCodec) Decompress(dst []float32, payload []byte) error {
 	return fmt.Errorf("injected decode failure")
 }
 
+func (failingCodec) DecompressAdd(dst []float32, payload []byte) error {
+	return fmt.Errorf("injected decode failure")
+}
+
 // TestHierarchicalErrorPoisonsDownstream: a fold failure at one leader must
 // fail the bucket on EVERY rank — the failing leader forwards a zero-length
 // poison message instead of a partial sum, so no rank silently adopts a

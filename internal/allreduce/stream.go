@@ -375,22 +375,24 @@ func (s *Stream) retire(job bucketJob) {
 // Non-owned buckets (reduce-scatter mode) skip the reduction: they decode
 // this rank's own payload for SelfDecoded, wait out the sends, and emit a
 // nil-Sum result.
+//
+// Payloads fold straight into the bucket sum via Codec.DecompressAdd — no
+// per-sender temp materialization or second memory pass. The fold visits
+// ranks in the same order and performs the same per-element FP adds as the
+// old decode-into-scratch-then-add loop, so sums are bitwise unchanged; the
+// one rank whose decode is also needed for the error-feedback contract
+// decodes into SelfDecoded first and accumulates from there.
 func (s *Stream) reduce(inflight <-chan bucketJob) {
 	n := s.c.Size()
 	rank := s.c.Rank()
-	var tmp []float32 // decode scratch, reused across buckets (grown on demand)
 	for job := range inflight {
 		width := job.hi - job.lo
-		if cap(tmp) < width {
-			tmp = make([]float32, width)
-		}
-		tmp = tmp[:width]
 		if s.hier != nil {
-			s.reduceHier(job, tmp)
+			s.reduceHier(job)
 			continue
 		}
 		if !job.owned {
-			s.finishUnowned(job, tmp)
+			s.finishUnowned(job)
 			continue
 		}
 		// Pooled, but zeroed: accumulating into exact +0 keeps the sum
@@ -427,15 +429,19 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 				}
 				continue
 			}
-			if err := s.codec.Decompress(tmp, payload); err != nil {
+			if r == rank && s.opts.SelfDecoded != nil {
+				// Error feedback needs this rank's full decode anyway:
+				// produce it in place, then fold it like any other sender.
+				self := s.opts.SelfDecoded[job.lo:job.hi]
+				if err := s.codec.Decompress(self, payload); err != nil {
+					jobErr = fmt.Errorf("allreduce: bucket %d from rank %d: %w", job.idx, r, err)
+				} else {
+					for i, v := range self {
+						sum[i] += v
+					}
+				}
+			} else if err := s.codec.DecompressAdd(sum, payload); err != nil {
 				jobErr = fmt.Errorf("allreduce: bucket %d from rank %d: %w", job.idx, r, err)
-			} else {
-				if r == rank && s.opts.SelfDecoded != nil {
-					copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
-				}
-				for i, v := range tmp {
-					sum[i] += v
-				}
 			}
 			if release {
 				mpi.PutBytes(payload)
@@ -473,14 +479,12 @@ func (s *Stream) reduce(inflight <-chan bucketJob) {
 // finishUnowned completes a reduce-scatter bucket this rank does not own:
 // decode the rank's own payload for the error-feedback contract, wait for
 // the sends to drain, account the traffic, and emit a nil-Sum result.
-func (s *Stream) finishUnowned(job bucketJob, tmp []float32) {
+func (s *Stream) finishUnowned(job bucketJob) {
 	width := job.hi - job.lo
 	var jobErr error
 	if s.opts.SelfDecoded != nil {
-		if err := s.codec.Decompress(tmp, job.payload); err != nil {
+		if err := s.codec.Decompress(s.opts.SelfDecoded[job.lo:job.hi], job.payload); err != nil {
 			jobErr = fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err)
-		} else {
-			copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
 		}
 	}
 	if err := mpi.WaitAll(job.sendReqs...); err != nil && jobErr == nil {
@@ -515,7 +519,7 @@ func (s *Stream) finishUnowned(job bucketJob, tmp []float32) {
 // the next leader, and the final leader distributes the completed rank-order
 // fold back down. Every value a rank emits as Sum is therefore bit for bit
 // the flat mode's sum of all decoded payloads in rank order.
-func (s *Stream) reduceHier(job bucketJob, tmp []float32) {
+func (s *Stream) reduceHier(job bucketJob) {
 	h := s.hier
 	width := job.hi - job.lo
 	t := job.idx % hierTagSpan
@@ -530,10 +534,8 @@ func (s *Stream) reduceHier(job bucketJob, tmp []float32) {
 		// Member: the only local work is the SelfDecoded contract and
 		// (when owed one) receiving the final sum.
 		if s.opts.SelfDecoded != nil {
-			if err := s.codec.Decompress(tmp, job.payload); err != nil {
+			if err := s.codec.Decompress(s.opts.SelfDecoded[job.lo:job.hi], job.payload); err != nil {
 				fail(fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err))
-			} else {
-				copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
 			}
 		}
 		fail(mpi.WaitAll(job.sendReqs...))
@@ -561,16 +563,18 @@ func (s *Stream) reduceHier(job bucketJob, tmp []float32) {
 		sum = mpi.GetFloatsZeroed(width) // failed chain recv; keep going so peers drain
 	}
 	job.chainReq = nil
-	if err := s.codec.Decompress(tmp, job.payload); err != nil {
-		fail(fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err))
-	} else {
-		if s.opts.SelfDecoded != nil {
-			copy(s.opts.SelfDecoded[job.lo:job.hi], tmp)
-		}
-		if jobErr == nil {
-			for i, v := range tmp {
+	if s.opts.SelfDecoded != nil {
+		self := s.opts.SelfDecoded[job.lo:job.hi]
+		if err := s.codec.Decompress(self, job.payload); err != nil {
+			fail(fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err))
+		} else if jobErr == nil {
+			for i, v := range self {
 				sum[i] += v
 			}
+		}
+	} else if jobErr == nil {
+		if err := s.codec.DecompressAdd(sum, job.payload); err != nil {
+			fail(fmt.Errorf("allreduce: bucket %d self decode: %w", job.idx, err))
 		}
 	}
 	mpi.PutBytes(job.payload) // a leader's own payload never hits the wire
@@ -585,12 +589,8 @@ func (s *Stream) reduceHier(job bucketJob, tmp []float32) {
 		}
 		s.stats.BytesRecv += int64(len(b))
 		if jobErr == nil {
-			if err := s.codec.Decompress(tmp, b); err != nil {
+			if err := s.codec.DecompressAdd(sum, b); err != nil {
 				fail(fmt.Errorf("allreduce: bucket %d from rank %d: %w", job.idx, m, err))
-			} else {
-				for i, v := range tmp {
-					sum[i] += v
-				}
 			}
 		}
 		mpi.PutBytes(b)

@@ -49,6 +49,31 @@ func (Identity) Decompress(dst []float32, payload []byte) error {
 	return nil
 }
 
+// DecompressAdd implements Codec: dst[i] += decoded[i], 8-wide unrolled.
+func (Identity) DecompressAdd(dst []float32, payload []byte) error {
+	if len(payload) != 4*len(dst) {
+		return fmt.Errorf("compress: identity payload %d bytes, want %d", len(payload), 4*len(dst))
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := payload[4*i : 4*i+32 : 4*i+32]
+		d[0] += math.Float32frombits(binary.LittleEndian.Uint32(s[0:4]))
+		d[1] += math.Float32frombits(binary.LittleEndian.Uint32(s[4:8]))
+		d[2] += math.Float32frombits(binary.LittleEndian.Uint32(s[8:12]))
+		d[3] += math.Float32frombits(binary.LittleEndian.Uint32(s[12:16]))
+		d[4] += math.Float32frombits(binary.LittleEndian.Uint32(s[16:20]))
+		d[5] += math.Float32frombits(binary.LittleEndian.Uint32(s[20:24]))
+		d[6] += math.Float32frombits(binary.LittleEndian.Uint32(s[24:28]))
+		d[7] += math.Float32frombits(binary.LittleEndian.Uint32(s[28:32]))
+	}
+	for ; i < n; i++ {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return nil
+}
+
 // Int8 quantizes a bucket to signed 8-bit integers with one shared linear
 // scale: scale = max|v|/127, q = round(v/scale). Payload is 4 bytes of scale
 // followed by one byte per element — a fixed 3.97x reduction (4n -> n+4).
@@ -61,65 +86,192 @@ func (Int8) Name() string { return "int8" }
 // MaxCompressedSize implements Codec.
 func (Int8) MaxCompressedSize(n int) int { return 4 + n }
 
-// AppendCompress implements Codec.
+// roundMagic is 1.5×2²³: adding and subtracting it rounds a float32 in
+// (-2²², 2²²) to the nearest integer, ties to even — the hardware rounding
+// the FPU applies at the 2²³ binade. Quantized inputs live in roughly
+// [-127.5, 127.5], far inside the valid range, so the magic round is exactly
+// math.RoundToEven without the float64 excursion or its branches.
+const roundMagic = float32(3 << 22)
+
+// AppendCompress implements Codec. The scan and quantize loops are 8-wide
+// unrolled (the mpi.EncodeFloat32s treatment): |v| is an integer mask on the
+// float bits, the max-abs reduction is an integer compare (NaN bit patterns
+// exceed +Inf's, so non-finite inputs still poison the scale), and rounding
+// is the branchless magic-constant add.
 func (Int8) AppendCompress(dst []byte, src []float32) []byte {
-	var maxAbs float32
-	for _, v := range src {
-		a := float32(math.Abs(float64(v)))
-		if a > maxAbs || math.IsNaN(float64(a)) {
-			maxAbs = a
+	n := len(src)
+	var m0, m1, m2, m3, m4, m5, m6, m7 uint32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		if b := math.Float32bits(s[0]) &^ (1 << 31); b > m0 {
+			m0 = b
+		}
+		if b := math.Float32bits(s[1]) &^ (1 << 31); b > m1 {
+			m1 = b
+		}
+		if b := math.Float32bits(s[2]) &^ (1 << 31); b > m2 {
+			m2 = b
+		}
+		if b := math.Float32bits(s[3]) &^ (1 << 31); b > m3 {
+			m3 = b
+		}
+		if b := math.Float32bits(s[4]) &^ (1 << 31); b > m4 {
+			m4 = b
+		}
+		if b := math.Float32bits(s[5]) &^ (1 << 31); b > m5 {
+			m5 = b
+		}
+		if b := math.Float32bits(s[6]) &^ (1 << 31); b > m6 {
+			m6 = b
+		}
+		if b := math.Float32bits(s[7]) &^ (1 << 31); b > m7 {
+			m7 = b
 		}
 	}
+	for ; i < n; i++ {
+		if b := math.Float32bits(src[i]) &^ (1 << 31); b > m0 {
+			m0 = b
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	if m4 > m0 {
+		m0 = m4
+	}
+	if m5 > m0 {
+		m0 = m5
+	}
+	if m6 > m0 {
+		m0 = m6
+	}
+	if m7 > m0 {
+		m0 = m7
+	}
+	maxAbs := math.Float32frombits(m0)
+
 	scale := maxAbs / 127
 	off := len(dst)
-	dst = grow(dst, 4+len(src))
+	dst = grow(dst, 4+n)
 	b := dst[off:]
 	binary.LittleEndian.PutUint32(b, math.Float32bits(scale))
-	if scale == 0 {
-		// All-zero bucket (or all subnormal): quantizes to zeros.
-		for i := range src {
-			b[4+i] = 0
+	if scale == 0 || math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
+		// scale == 0: all-zero (or all-subnormal) bucket quantizes to zeros.
+		// Non-finite scale: a NaN/Inf gradient element must surface as
+		// divergence, exactly as the uncompressed path would — the scale
+		// decodes the whole bucket to NaN/Inf. Quantized bytes stay zero;
+		// float-to-int conversion of non-finite values is implementation-
+		// defined, so don't attempt it.
+		q := b[4 : 4+n]
+		for i := range q {
+			q[i] = 0
 		}
 		return dst
 	}
-	if math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
-		// A NaN/Inf gradient element must surface as divergence, exactly as
-		// the uncompressed path would: a non-finite scale decodes the whole
-		// bucket to NaN. Quantized bytes stay zero — float-to-int conversion
-		// of non-finite values is implementation-defined, so don't attempt it.
-		for i := range src {
-			b[4+i] = 0
-		}
-		return dst
+	q := b[4 : 4+n]
+	i = 0
+	for ; i+8 <= n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := q[i : i+8 : i+8]
+		d[0] = quantInt8(s[0], scale)
+		d[1] = quantInt8(s[1], scale)
+		d[2] = quantInt8(s[2], scale)
+		d[3] = quantInt8(s[3], scale)
+		d[4] = quantInt8(s[4], scale)
+		d[5] = quantInt8(s[5], scale)
+		d[6] = quantInt8(s[6], scale)
+		d[7] = quantInt8(s[7], scale)
 	}
-	for i, v := range src {
-		q := math.RoundToEven(float64(v / scale))
-		if q > 127 {
-			q = 127
-		} else if q < -127 {
-			q = -127
-		}
-		b[4+i] = byte(int8(q))
+	for ; i < n; i++ {
+		q[i] = quantInt8(src[i], scale)
 	}
 	return dst
 }
 
-// Decompress implements Codec.
+// quantInt8 rounds v/scale to the nearest integer (ties to even) and clamps
+// to ±127. The magic round is bit-identical to the old
+// math.RoundToEven(float64(v/scale)): both round the exact same float32
+// quotient to nearest-even, and the clamp handles the quotient's worst-case
+// overshoot past ±127 identically.
+func quantInt8(v, scale float32) byte {
+	r := (v/scale + roundMagic) - roundMagic
+	if r > 127 {
+		r = 127
+	} else if r < -127 {
+		r = -127
+	}
+	return byte(int8(r))
+}
+
+// Decompress implements Codec, 8-wide unrolled.
 func (Int8) Decompress(dst []float32, payload []byte) error {
 	if len(payload) != 4+len(dst) {
 		return fmt.Errorf("compress: int8 payload %d bytes, want %d", len(payload), 4+len(dst))
 	}
 	scale := math.Float32frombits(binary.LittleEndian.Uint32(payload))
-	for i := range dst {
-		dst[i] = float32(int8(payload[4+i])) * scale
+	n := len(dst)
+	p := payload[4 : 4+n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := p[i : i+8 : i+8]
+		d[0] = float32(int8(s[0])) * scale
+		d[1] = float32(int8(s[1])) * scale
+		d[2] = float32(int8(s[2])) * scale
+		d[3] = float32(int8(s[3])) * scale
+		d[4] = float32(int8(s[4])) * scale
+		d[5] = float32(int8(s[5])) * scale
+		d[6] = float32(int8(s[6])) * scale
+		d[7] = float32(int8(s[7])) * scale
+	}
+	for ; i < n; i++ {
+		dst[i] = float32(int8(p[i])) * scale
+	}
+	return nil
+}
+
+// DecompressAdd implements Codec: dst[i] += q[i]*scale, 8-wide unrolled.
+// Every element performs the same multiply and add Decompress-then-add
+// would, including the NaN/Inf-scale path (0*NaN = NaN accumulates).
+func (Int8) DecompressAdd(dst []float32, payload []byte) error {
+	if len(payload) != 4+len(dst) {
+		return fmt.Errorf("compress: int8 payload %d bytes, want %d", len(payload), 4+len(dst))
+	}
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(payload))
+	n := len(dst)
+	p := payload[4 : 4+n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := p[i : i+8 : i+8]
+		d[0] += float32(int8(s[0])) * scale
+		d[1] += float32(int8(s[1])) * scale
+		d[2] += float32(int8(s[2])) * scale
+		d[3] += float32(int8(s[3])) * scale
+		d[4] += float32(int8(s[4])) * scale
+		d[5] += float32(int8(s[5])) * scale
+		d[6] += float32(int8(s[6])) * scale
+		d[7] += float32(int8(s[7])) * scale
+	}
+	for ; i < n; i++ {
+		dst[i] += float32(int8(p[i])) * scale
 	}
 	return nil
 }
 
 // magSorter orders candidate indices by descending magnitude of the bucket
-// values, ties toward the lower index (deterministic payloads). It
-// implements sort.Interface on a reusable struct — sort.Slice would allocate
-// its closure and reflect-based swapper on every bucket.
+// values, ties toward the lower index — a strict total order (no two
+// candidates compare equal), which is what makes the selection deterministic
+// and quickselect's partition loop safe. It implements sort.Interface on a
+// reusable struct — sort.Slice would allocate its closure and reflect-based
+// swapper on every bucket.
 type magSorter struct {
 	idx []int
 	src []float32
@@ -134,6 +286,65 @@ func (s *magSorter) Less(a, b int) bool {
 		return av > bv
 	}
 	return s.idx[a] < s.idx[b]
+}
+
+// selectCutoff is the window size below which selectTop falls back to
+// insertion sort instead of partitioning further.
+const selectCutoff = 12
+
+// selectTop partially orders s.idx so positions [0, k) hold the k smallest
+// elements under Less — i.e. the k largest magnitudes — in unspecified
+// order. O(n) expected versus the O(n log n) full sort, and it selects the
+// IDENTICAL set the full sort would keep: Less is a strict total order, so
+// "the k smallest" is a unique set no matter how it is found.
+func (s *magSorter) selectTop(k int) {
+	lo, hi := 0, len(s.idx)
+	if k <= 0 || k >= hi {
+		return
+	}
+	for hi-lo > selectCutoff {
+		p := s.partition(lo, hi)
+		if p == k || p == k-1 {
+			return
+		}
+		if p > k {
+			hi = p
+		} else {
+			lo = p + 1
+		}
+	}
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && s.Less(j, j-1); j-- {
+			s.Swap(j, j-1)
+		}
+	}
+}
+
+// partition picks a median-of-three pivot (deterministic — payloads must not
+// depend on a random source) and Lomuto-partitions [lo, hi), returning the
+// pivot's final position.
+func (s *magSorter) partition(lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if s.Less(mid, lo) {
+		s.Swap(mid, lo)
+	}
+	if s.Less(hi-1, lo) {
+		s.Swap(hi-1, lo)
+	}
+	if s.Less(hi-1, mid) {
+		s.Swap(hi-1, mid)
+	}
+	s.Swap(mid, hi-1)
+	p := hi - 1
+	i := lo
+	for j := lo; j < p; j++ {
+		if s.Less(j, p) {
+			s.Swap(i, j)
+			i++
+		}
+	}
+	s.Swap(i, p)
+	return i
 }
 
 // topkScratch recycles sorters (and their index scratch) across
@@ -192,7 +403,10 @@ func (t TopK) keep(n int) int {
 // MaxCompressedSize implements Codec.
 func (t TopK) MaxCompressedSize(n int) int { return 4 + 8*t.keep(n) }
 
-// AppendCompress implements Codec.
+// AppendCompress implements Codec. Selection is quickselect (expected O(n))
+// rather than a full sort; the strict total order guarantees the kept SET —
+// and after the ascending index sort, the payload bytes — are identical to
+// what the full sort produced.
 func (t TopK) AppendCompress(dst []byte, src []float32) []byte {
 	n := len(src)
 	k := t.keep(n)
@@ -200,7 +414,7 @@ func (t TopK) AppendCompress(dst []byte, src []float32) []byte {
 	for i := range s.idx {
 		s.idx[i] = i
 	}
-	sort.Sort(s)
+	s.selectTop(k)
 	kept := s.idx[:k]
 	sort.Ints(kept) // ascending index order keeps payloads canonical
 	off := len(dst)
@@ -217,15 +431,9 @@ func (t TopK) AppendCompress(dst []byte, src []float32) []byte {
 
 // Decompress implements Codec.
 func (t TopK) Decompress(dst []float32, payload []byte) error {
-	if len(payload) < 4 {
-		return fmt.Errorf("compress: topk payload %d bytes, want >= 4", len(payload))
-	}
-	k := int(binary.LittleEndian.Uint32(payload))
-	if len(payload) != 4+8*k {
-		return fmt.Errorf("compress: topk payload %d bytes, want %d for k=%d", len(payload), 4+8*k, k)
-	}
-	if k > len(dst) {
-		return fmt.Errorf("compress: topk k=%d exceeds bucket length %d", k, len(dst))
+	k, err := t.parse(dst, payload)
+	if err != nil {
+		return err
 	}
 	for i := range dst {
 		dst[i] = 0
@@ -238,4 +446,39 @@ func (t TopK) Decompress(dst []float32, payload []byte) error {
 		dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4+4*k+4*i:]))
 	}
 	return nil
+}
+
+// DecompressAdd implements Codec: dst[j] += value at each kept index j,
+// skipping the dropped indices entirely — the whole point of the fused path
+// for a sparse codec (touch k elements, not the full bucket). Skipping a
+// dropped index omits a += 0, which is only observable when dst held -0
+// there; accumulators that start at +0 never do (see the interface contract).
+func (t TopK) DecompressAdd(dst []float32, payload []byte) error {
+	k, err := t.parse(dst, payload)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < k; i++ {
+		j := int(binary.LittleEndian.Uint32(payload[4+4*i:]))
+		if j >= len(dst) {
+			return fmt.Errorf("compress: topk index %d exceeds bucket length %d", j, len(dst))
+		}
+		dst[j] += math.Float32frombits(binary.LittleEndian.Uint32(payload[4+4*k+4*i:]))
+	}
+	return nil
+}
+
+// parse validates a topk payload against dst's length and returns k.
+func (TopK) parse(dst []float32, payload []byte) (int, error) {
+	if len(payload) < 4 {
+		return 0, fmt.Errorf("compress: topk payload %d bytes, want >= 4", len(payload))
+	}
+	k := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+8*k {
+		return 0, fmt.Errorf("compress: topk payload %d bytes, want %d for k=%d", len(payload), 4+8*k, k)
+	}
+	if k > len(dst) {
+		return 0, fmt.Errorf("compress: topk k=%d exceeds bucket length %d", k, len(dst))
+	}
+	return k, nil
 }

@@ -35,6 +35,17 @@ type Codec interface {
 	// Decompress decodes payload into dst, overwriting every element. It
 	// errors if the payload does not describe exactly len(dst) floats.
 	Decompress(dst []float32, payload []byte) error
+	// DecompressAdd decodes payload and accumulates it into dst
+	// (dst[i] += decoded[i]) in ascending element order — the fused fast
+	// path Stream.reduce uses to fold each sender's payload straight into
+	// the bucket sum without materializing a temp. For every element the
+	// decoded value and the FP add are the same operation Decompress-then-
+	// add would perform, so the accumulated sum is bitwise identical, with
+	// one documented exception: sparse codecs may skip the += 0 at dropped
+	// indices, which can only matter when dst holds -0 there (-0 + +0 = +0);
+	// bucket accumulators start at +0 and can never become -0 by adding
+	// payloads, so the fused path is bitwise-safe in the reduction.
+	DecompressAdd(dst []float32, payload []byte) error
 }
 
 // Encode compresses src into a fresh payload — the convenience form for

@@ -1,13 +1,25 @@
 package nn
 
 import (
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
+
+// reluGrain is the smallest per-task range for elementwise activation
+// kernels; below it fork-join overhead dominates the copy-compare loop.
+const reluGrain = 1 << 14
 
 // ReLU is the rectified linear activation, applied elementwise.
 type ReLU struct {
 	name string
 	mask []bool // true where input was > 0
+	// The kernel closures are built once and read the current tensors
+	// through these fields: a func literal handed to kernels.Run escapes,
+	// so per-call closures would put an allocation per activation on the
+	// training hot path (gated by benchtool -allocs).
+	fwdX, fwdOut  *tensor.Tensor
+	bwdOut, bwdIn *tensor.Tensor
+	fwdFn, bwdFn  func(lo, hi int)
 }
 
 // NewReLU constructs a ReLU layer.
@@ -25,25 +37,43 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(r.mask) < x.Len() {
 		r.mask = make([]bool, x.Len())
 	}
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
+	r.fwdX, r.fwdOut = x, out
+	if r.fwdFn == nil {
+		// Elementwise with disjoint writes: range boundaries cannot affect
+		// bits.
+		r.fwdFn = func(lo, hi int) {
+			x, out := r.fwdX, r.fwdOut
+			for i, v := range x.Data[lo:hi] {
+				if v > 0 {
+					out.Data[lo+i] = v
+					r.mask[lo+i] = true
+				} else {
+					r.mask[lo+i] = false
+				}
+			}
 		}
 	}
+	kernels.RunRange(x.Len(), reluGrain, r.fwdFn)
+	r.fwdX, r.fwdOut = nil, nil
 	return out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := tensor.New(gradOut.Shape()...)
-	for i, g := range gradOut.Data {
-		if r.mask[i] {
-			gradIn.Data[i] = g
+	r.bwdOut, r.bwdIn = gradOut, gradIn
+	if r.bwdFn == nil {
+		r.bwdFn = func(lo, hi int) {
+			gradOut, gradIn := r.bwdOut, r.bwdIn
+			for i, g := range gradOut.Data[lo:hi] {
+				if r.mask[lo+i] {
+					gradIn.Data[lo+i] = g
+				}
+			}
 		}
 	}
+	kernels.RunRange(gradOut.Len(), reluGrain, r.bwdFn)
+	r.bwdOut, r.bwdIn = nil, nil
 	return gradIn
 }
 

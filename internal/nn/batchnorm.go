@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
 
@@ -61,7 +62,11 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		if len(b.xhat) < x.Len() {
 			b.xhat = make([]float32, x.Len())
 		}
-		for c := 0; c < b.C; c++ {
+		// Channels are independent: each task owns channel c's statistics,
+		// running-stat slots, and strided output range, and the per-channel
+		// arithmetic is exactly the serial loop — bitwise identical at any
+		// worker count.
+		kernels.Run(b.C, func(c int) {
 			var sum float64
 			for i := 0; i < n; i++ {
 				base := (i*b.C + c) * hw
@@ -97,11 +102,11 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 					out.Data[base+j] = g*xh + bias
 				}
 			}
-		}
+		})
 		return out
 	}
 	// Inference: use running statistics.
-	for c := 0; c < b.C; c++ {
+	kernels.Run(b.C, func(c int) {
 		mean := b.RunningMean.Data[c]
 		invStd := float32(1 / math.Sqrt(float64(b.RunningVar.Data[c])+float64(b.Eps)))
 		g, bias := b.Gamma.Value.Data[c], b.Beta.Value.Data[c]
@@ -111,7 +116,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				out.Data[base+j] = g*(x.Data[base+j]-mean)*invStd + bias
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -126,7 +131,9 @@ func (b *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	hw := h * w
 	m := float32(n * hw)
 	gradIn := tensor.New(n, b.C, h, w)
-	for c := 0; c < b.C; c++ {
+	// Per-channel backward tasks: gamma/beta grads and gradIn ranges are
+	// channel-disjoint, reductions run serially within a channel.
+	kernels.Run(b.C, func(c int) {
 		g := b.Gamma.Value.Data[c]
 		invStd := b.invStd[c]
 		var sumDy, sumDyXhat float64
@@ -150,6 +157,6 @@ func (b *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 				gradIn.Data[base+j] = scale * (dy - k1 - b.xhat[base+j]*k2)
 			}
 		}
-	}
+	})
 	return gradIn
 }

@@ -3,13 +3,32 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
+
+// convScratch is one batch chunk's private workspace: im2col/col2im column
+// buffers plus partial weight/bias gradient accumulators. Chunks run
+// concurrently on the kernels pool, each touching only its own scratch.
+type convScratch struct {
+	cols     []float32
+	gradCols []float32
+	dW       []float32
+	dB       []float32
+}
 
 // Conv2D is a 2-D convolution over NCHW input, lowered to GEMM via im2col —
 // the same lowering cuDNN's IMPLICIT_GEMM algorithm uses on the paper's P100
 // GPUs. Weight layout is (outC, inC, kh, kw); bias is optional (the ResNet
 // and GoogLeNetBN recipes run conv without bias when followed by BN).
+//
+// Forward and Backward parallelize across batch images on the shared
+// kernels pool. Output activations and input gradients are written to
+// disjoint per-image ranges (any schedule is bitwise-deterministic); weight
+// and bias gradients accumulate into per-chunk partial buffers over the
+// fixed kernels.GradChunks batch partition and are folded in chunk order —
+// a pure function of the batch size, never of the worker count — so dW is
+// bitwise identical whether the pool runs 1-wide or GOMAXPROCS-wide.
 type Conv2D struct {
 	name                     string
 	InC, OutC                int
@@ -18,7 +37,8 @@ type Conv2D struct {
 	PadH, PadW               int
 	Weight, Bias             *Param
 	lastInput                *tensor.Tensor
-	cols                     []float32 // im2col scratch for the current batch, one image at a time
+	scratch                  []convScratch  // per-chunk workspaces, reused across steps
+	gradIn                   *tensor.Tensor // layer-owned Backward output, reused across steps
 	lastH, lastW, outH, outW int
 }
 
@@ -54,6 +74,32 @@ func (c *Conv2D) Params() []*Param {
 	return []*Param{c.Weight}
 }
 
+// ensureScratch sizes the per-chunk workspaces: cols for every chunk, and —
+// when backward is set — gradCols plus the partial dW/dB accumulators.
+func (c *Conv2D) ensureScratch(chunks, colFloats int, backward bool) {
+	if len(c.scratch) < chunks {
+		c.scratch = append(c.scratch, make([]convScratch, chunks-len(c.scratch))...)
+	}
+	for ci := 0; ci < chunks; ci++ {
+		s := &c.scratch[ci]
+		if len(s.cols) < colFloats {
+			s.cols = make([]float32, colFloats)
+		}
+		if !backward {
+			continue
+		}
+		if len(s.gradCols) < colFloats {
+			s.gradCols = make([]float32, colFloats)
+		}
+		if wLen := c.Weight.Value.Len(); len(s.dW) < wLen {
+			s.dW = make([]float32, wLen)
+		}
+		if c.Bias != nil && len(s.dB) < c.OutC {
+			s.dB = make([]float32, c.OutC)
+		}
+	}
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NumDims() != 4 || x.Dim(1) != c.InC {
@@ -66,31 +112,35 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outW = tensor.ConvOutSize(w, c.KW, c.StrideW, c.PadW)
 	colRows := c.InC * c.KH * c.KW
 	colN := c.outH * c.outW
-	if len(c.cols) < colRows*colN {
-		c.cols = make([]float32, colRows*colN)
-	}
+	chunks := kernels.GradChunks(n)
+	c.ensureScratch(chunks, colRows*colN, false)
 	out := tensor.New(n, c.OutC, c.outH, c.outW)
 	inPlane := c.InC * h * w
 	outPlane := c.OutC * colN
-	for i := 0; i < n; i++ {
-		src := x.Data[i*inPlane : (i+1)*inPlane]
-		tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.StrideH, c.StrideW, c.PadH, c.PadW, c.cols)
-		dst := out.Data[i*outPlane : (i+1)*outPlane]
-		tensor.Gemm(false, false, c.OutC, colN, colRows, 1, c.Weight.Value.Data, c.cols[:colRows*colN], 0, dst)
-		if c.Bias != nil {
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.Bias.Value.Data[oc]
-				row := dst[oc*colN : (oc+1)*colN]
-				for j := range row {
-					row[j] += b
+	kernels.RunChunks(n, chunks, func(ci, lo, hi int) {
+		cols := c.scratch[ci].cols[:colRows*colN]
+		for i := lo; i < hi; i++ {
+			src := x.Data[i*inPlane : (i+1)*inPlane]
+			tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.StrideH, c.StrideW, c.PadH, c.PadW, cols)
+			dst := out.Data[i*outPlane : (i+1)*outPlane]
+			tensor.Gemm(false, false, c.OutC, colN, colRows, 1, c.Weight.Value.Data, cols, 0, dst)
+			if c.Bias != nil {
+				for oc := 0; oc < c.OutC; oc++ {
+					b := c.Bias.Value.Data[oc]
+					row := dst[oc*colN : (oc+1)*colN]
+					for j := range row {
+						row[j] += b
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient tensor is owned by the
+// layer and reused on the next Backward call; callers must consume it before
+// then (the per-step training loop does).
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	x := c.lastInput
 	if x == nil {
@@ -101,29 +151,78 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	colN := c.outH * c.outW
 	inPlane := c.InC * h * w
 	outPlane := c.OutC * colN
-	gradIn := tensor.New(n, c.InC, h, w)
-	gradCols := make([]float32, colRows*colN)
-	for i := 0; i < n; i++ {
-		src := x.Data[i*inPlane : (i+1)*inPlane]
-		g := gradOut.Data[i*outPlane : (i+1)*outPlane]
-
-		// dW += g · colsᵀ, recomputing the columns (saves memory over caching
-		// all per-image column matrices, the standard recompute trade-off).
-		tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.StrideH, c.StrideW, c.PadH, c.PadW, c.cols)
-		tensor.Gemm(false, true, c.OutC, colRows, colN, 1, g, c.cols[:colRows*colN], 1, c.Weight.Grad.Data)
-
-		// dCols = Wᵀ · g, then scatter back to the input gradient.
-		tensor.Gemm(true, false, colRows, colN, c.OutC, 1, c.Weight.Value.Data, g, 0, gradCols)
-		tensor.Col2Im(gradCols, c.InC, h, w, c.KH, c.KW, c.StrideH, c.StrideW, c.PadH, c.PadW, gradIn.Data[i*inPlane:(i+1)*inPlane])
-
+	if c.gradIn == nil || c.gradIn.NumDims() != 4 || c.gradIn.Dim(0) != n ||
+		c.gradIn.Dim(1) != c.InC || c.gradIn.Dim(2) != h || c.gradIn.Dim(3) != w {
+		c.gradIn = tensor.New(n, c.InC, h, w)
+	}
+	gradIn := c.gradIn
+	chunks := kernels.GradChunks(n)
+	c.ensureScratch(chunks, colRows*colN, true)
+	wLen := c.Weight.Value.Len()
+	kernels.RunChunks(n, chunks, func(ci, lo, hi int) {
+		s := &c.scratch[ci]
+		cols := s.cols[:colRows*colN]
+		gradCols := s.gradCols[:colRows*colN]
+		dW := s.dW[:wLen]
+		for i := range dW {
+			dW[i] = 0
+		}
+		var dB []float32
 		if c.Bias != nil {
-			for oc := 0; oc < c.OutC; oc++ {
-				var s float32
-				row := g[oc*colN : (oc+1)*colN]
-				for _, v := range row {
-					s += v
+			dB = s.dB[:c.OutC]
+			for i := range dB {
+				dB[i] = 0
+			}
+		}
+		for i := lo; i < hi; i++ {
+			src := x.Data[i*inPlane : (i+1)*inPlane]
+			g := gradOut.Data[i*outPlane : (i+1)*outPlane]
+
+			// dW += g · colsᵀ, recomputing the columns (saves memory over
+			// caching all per-image column matrices, the standard recompute
+			// trade-off). Accumulates into the chunk's partial buffer.
+			tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.StrideH, c.StrideW, c.PadH, c.PadW, cols)
+			tensor.Gemm(false, true, c.OutC, colRows, colN, 1, g, cols, 1, dW)
+
+			// dCols = Wᵀ · g, then scatter back to the input gradient. The
+			// reused gradIn must present Col2Im a zeroed adjoint target.
+			tensor.Gemm(true, false, colRows, colN, c.OutC, 1, c.Weight.Value.Data, g, 0, gradCols)
+			gi := gradIn.Data[i*inPlane : (i+1)*inPlane]
+			for j := range gi {
+				gi[j] = 0
+			}
+			tensor.Col2Im(gradCols, c.InC, h, w, c.KH, c.KW, c.StrideH, c.StrideW, c.PadH, c.PadW, gi)
+
+			if dB != nil {
+				for oc := 0; oc < c.OutC; oc++ {
+					var sum float32
+					row := g[oc*colN : (oc+1)*colN]
+					for _, v := range row {
+						sum += v
+					}
+					dB[oc] += sum
 				}
-				c.Bias.Grad.Data[oc] += s
+			}
+		}
+	})
+	// Fold the partials in chunk order — ascending chunks cover ascending
+	// image ranges, so the fold is the fixed-image-order left fold no matter
+	// how many workers computed the partials. Parallel over weight elements:
+	// each element's chunk-order sum is independent.
+	kernels.RunRange(wLen, 4096, func(lo, hi int) {
+		wg := c.Weight.Grad.Data
+		for ci := 0; ci < chunks; ci++ {
+			dW := c.scratch[ci].dW
+			for j := lo; j < hi; j++ {
+				wg[j] += dW[j]
+			}
+		}
+	})
+	if c.Bias != nil {
+		bg := c.Bias.Grad.Data
+		for ci := 0; ci < chunks; ci++ {
+			for j, v := range c.scratch[ci].dB[:c.OutC] {
+				bg[j] += v
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
 
@@ -20,8 +21,9 @@ type LRN struct {
 	K     float32 // bias, AlexNet default 2
 
 	lastInput *tensor.Tensor
-	denom     []float32 // (k + alpha/n·sum)^beta per element
-	sums      []float32 // raw windowed square sums per element
+	denom     []float32   // (k + alpha/n·sum)^beta per element
+	sums      []float32   // raw windowed square sums per element
+	ratio     [][]float32 // per-chunk Backward scratch, reused across steps
 }
 
 // NewLRN constructs an LRN layer with the AlexNet constants.
@@ -53,7 +55,8 @@ func (l *LRN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	hw := h * w
 	half := l.Size / 2
 	scale := l.Alpha / float32(l.Size)
-	for img := 0; img < n; img++ {
+	// Images are independent and write disjoint out/denom/sums ranges.
+	kernels.Run(n, func(img int) {
 		base := img * c * hw
 		for pos := 0; pos < hw; pos++ {
 			// Sliding window over channels at fixed spatial position.
@@ -79,7 +82,7 @@ func (l *LRN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -95,33 +98,46 @@ func (l *LRN) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	half := l.Size / 2
 	scale := l.Alpha / float32(l.Size)
 	gradIn := tensor.New(n, c, h, w)
-	// ratio[c] = dy[c]·x[c]/(s[c]^(β+1)) precomputed per position.
-	ratio := make([]float32, c)
-	for img := 0; img < n; img++ {
-		base := img * c * hw
-		for pos := 0; pos < hw; pos++ {
-			for ch := 0; ch < c; ch++ {
-				idx := base + ch*hw + pos
-				s := l.K + scale*l.sums[idx]
-				ratio[ch] = gradOut.Data[idx] * x.Data[idx] / (s * l.denom[idx])
-			}
-			// Windowed sum of ratio with the same sliding technique.
-			var sum float32
-			for ch := 0; ch < minInt(half+1, c); ch++ {
-				sum += ratio[ch]
-			}
-			for ch := 0; ch < c; ch++ {
-				idx := base + ch*hw + pos
-				gradIn.Data[idx] = gradOut.Data[idx]/l.denom[idx] - 2*l.Beta*scale*x.Data[idx]*sum
-				if next := ch + half + 1; next < c {
-					sum += ratio[next]
+	// ratio[c] = dy[c]·x[c]/(s[c]^(β+1)) precomputed per position, one
+	// layer-owned scratch row per batch chunk (reused across steps — no
+	// per-call allocation).
+	chunks := kernels.GradChunks(n)
+	if len(l.ratio) < chunks {
+		l.ratio = append(l.ratio, make([][]float32, chunks-len(l.ratio))...)
+	}
+	for ci := 0; ci < chunks; ci++ {
+		if len(l.ratio[ci]) < c {
+			l.ratio[ci] = make([]float32, c)
+		}
+	}
+	kernels.RunChunks(n, chunks, func(ci, lo, hi int) {
+		ratio := l.ratio[ci][:c]
+		for img := lo; img < hi; img++ {
+			base := img * c * hw
+			for pos := 0; pos < hw; pos++ {
+				for ch := 0; ch < c; ch++ {
+					idx := base + ch*hw + pos
+					s := l.K + scale*l.sums[idx]
+					ratio[ch] = gradOut.Data[idx] * x.Data[idx] / (s * l.denom[idx])
 				}
-				if prev := ch - half; prev >= 0 {
-					sum -= ratio[prev]
+				// Windowed sum of ratio with the same sliding technique.
+				var sum float32
+				for ch := 0; ch < minInt(half+1, c); ch++ {
+					sum += ratio[ch]
+				}
+				for ch := 0; ch < c; ch++ {
+					idx := base + ch*hw + pos
+					gradIn.Data[idx] = gradOut.Data[idx]/l.denom[idx] - 2*l.Beta*scale*x.Data[idx]*sum
+					if next := ch + half + 1; next < c {
+						sum += ratio[next]
+					}
+					if prev := ch - half; prev >= 0 {
+						sum -= ratio[prev]
+					}
 				}
 			}
 		}
-	}
+	})
 	return gradIn
 }
 

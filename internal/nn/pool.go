@@ -4,8 +4,13 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernels"
 	"repro/internal/tensor"
 )
+
+// Pooling layers parallelize across batch images on the shared kernels
+// pool: every image's output (and argmax/gradient) range is disjoint, so
+// the parallel schedule is bitwise identical to the serial loop.
 
 // MaxPool2D is a max pooling layer over NCHW input.
 type MaxPool2D struct {
@@ -42,8 +47,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(p.argmax) < out.Len() {
 		p.argmax = make([]int32, out.Len())
 	}
-	oi := 0
-	for i := 0; i < n; i++ {
+	kernels.Run(n, func(i int) {
+		oi := i * c * oh * ow
 		for ch := 0; ch < c; ch++ {
 			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
 			planeOff := (i*c + ch) * h * w
@@ -74,21 +79,28 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer: the gradient routes to the argmax positions.
+// Argmax indices for image i point into image i's input planes only, so the
+// per-image tasks scatter into disjoint ranges.
 func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if p.lastShape == nil {
 		panic("nn: " + p.name + " Backward before Forward")
 	}
 	gradIn := tensor.New(p.lastShape...)
-	for i, g := range gradOut.Data {
-		if idx := p.argmax[i]; idx >= 0 {
-			gradIn.Data[idx] += g
+	n := p.lastShape[0]
+	perImage := gradOut.Len() / n
+	kernels.Run(n, func(i int) {
+		lo := i * perImage
+		for oi, g := range gradOut.Data[lo : lo+perImage] {
+			if idx := p.argmax[lo+oi]; idx >= 0 {
+				gradIn.Data[idx] += g
+			}
 		}
-	}
+	})
 	return gradIn
 }
 
@@ -128,8 +140,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ow := tensor.ConvOutSize(w, p.KW, p.StrideW, p.PadW)
 	out := tensor.New(n, c, oh, ow)
 	p.lastShape = []int{n, c, h, w}
-	oi := 0
-	for i := 0; i < n; i++ {
+	kernels.Run(n, func(i int) {
+		oi := i * c * oh * ow
 		for ch := 0; ch < c; ch++ {
 			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
 			for oy := 0; oy < oh; oy++ {
@@ -155,7 +167,7 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -168,8 +180,8 @@ func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
 	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
 	gradIn := tensor.New(n, c, h, w)
-	oi := 0
-	for i := 0; i < n; i++ {
+	kernels.Run(n, func(i int) {
+		oi := i * c * oh * ow
 		for ch := 0; ch < c; ch++ {
 			plane := gradIn.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
 			for oy := 0; oy < oh; oy++ {
@@ -209,7 +221,7 @@ func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return gradIn
 }
 
@@ -235,13 +247,15 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p.lastShape = []int{n, c, h, w}
 	out := tensor.New(n, c, 1, 1)
 	hw := float32(h * w)
-	for i := 0; i < n*c; i++ {
-		var s float32
-		for _, v := range x.Data[i*h*w : (i+1)*h*w] {
-			s += v
+	kernels.RunRange(n*c, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float32
+			for _, v := range x.Data[i*int(hw) : (i+1)*int(hw)] {
+				s += v
+			}
+			out.Data[i] = s / hw
 		}
-		out.Data[i] = s / hw
-	}
+	})
 	return out
 }
 
@@ -250,12 +264,14 @@ func (p *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
 	gradIn := tensor.New(n, c, h, w)
 	hw := float32(h * w)
-	for i := 0; i < n*c; i++ {
-		g := gradOut.Data[i] / hw
-		plane := gradIn.Data[i*h*w : (i+1)*h*w]
-		for j := range plane {
-			plane[j] = g
+	kernels.RunRange(n*c, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := gradOut.Data[i] / hw
+			plane := gradIn.Data[i*h*w : (i+1)*h*w]
+			for j := range plane {
+				plane[j] = g
+			}
 		}
-	}
+	})
 	return gradIn
 }

@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// gemmSerial is the plain three-loop reference kernel — the pre-pool Gemm
+// semantics, kept here so the tiled/pooled implementation is checked against
+// independent arithmetic, not against itself.
+func gemmSerial(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	for i := 0; i < m; i++ {
+		row := c[i*n : (i+1)*n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+	at := func(i, p int) float32 {
+		if transA {
+			return a[p*m+i]
+		}
+		return a[i*k+p]
+	}
+	bt := func(p, j int) float32 {
+		if transB {
+			return b[j*k+p]
+		}
+		return b[p*n+j]
+	}
+	for i := 0; i < m; i++ {
+		if !transB {
+			// Serial kernel order for the B-row-major cases: accumulate
+			// C[i,:] += alpha*A[i,p] * B[p,:] over p.
+			for p := 0; p < k; p++ {
+				s := alpha * at(i, p)
+				if s == 0 {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					c[i*n+j] += s * bt(p, j)
+				}
+			}
+		} else {
+			// Dot-product order for the transposed-B cases.
+			for j := 0; j < n; j++ {
+				var s float32
+				for p := 0; p < k; p++ {
+					s += at(i, p) * bt(p, j)
+				}
+				c[i*n+j] += alpha * s
+			}
+		}
+	}
+}
+
+// TestGemmBitwiseAcrossWorkerCounts: the pooled, 2-D-tiled Gemm must produce
+// bitwise-identical C at every worker width, for all four transpose cases
+// and for the awkward shapes (short-and-wide conv GEMMs, tall-thin, tiny),
+// and must match the serial reference kernel exactly.
+func TestGemmBitwiseAcrossWorkerCounts(t *testing.T) {
+	widths := []int{1, 2, runtime.GOMAXPROCS(0) + 3}
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{8, 2048, 27},  // conv forward: outC × outH*outW, short and wide
+		{512, 64, 128}, // tall
+		{64, 64, 0},    // pure beta pass
+		{17, 333, 19},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range shapes {
+		for _, transA := range []bool{false, true} {
+			for _, transB := range []bool{false, true} {
+				for _, alpha := range []float32{1, 0.5} {
+					for _, beta := range []float32{0, 1, 0.25} {
+						a := randSlice(rng, sh.m*sh.k)
+						b := randSlice(rng, sh.k*sh.n)
+						c0 := randSlice(rng, sh.m*sh.n)
+
+						want := append([]float32(nil), c0...)
+						gemmSerial(transA, transB, sh.m, sh.n, sh.k, alpha, a, b, beta, want)
+
+						for _, w := range widths {
+							prev := kernels.SetWorkers(w)
+							got := append([]float32(nil), c0...)
+							Gemm(transA, transB, sh.m, sh.n, sh.k, alpha, a, b, beta, got)
+							kernels.SetWorkers(prev)
+							for i := range got {
+								if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+									t.Fatalf("m%d n%d k%d tA%v tB%v alpha%v beta%v width %d: elem %d = %v, want %v",
+										sh.m, sh.n, sh.k, transA, transB, alpha, beta, w, i, got[i], want[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}

@@ -2,8 +2,8 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/kernels"
 )
 
 // MatMul computes C = A × B for 2-D tensors, allocating C. A is (m×k),
@@ -22,76 +22,116 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 	return c, nil
 }
 
+// minFlopsPerTile is the smallest worthwhile unit of GEMM work: below it the
+// fork-join dispatch costs more than the arithmetic it parallelizes.
+const minFlopsPerTile = 1 << 17
+
+// minTileCols keeps column tiles wide enough that the inner contiguous runs
+// over B and C still amortize their slice setup (and, on real hardware,
+// still span full cache lines).
+const minTileCols = 64
+
 // Gemm computes C = alpha*op(A)*op(B) + beta*C over flat row-major buffers,
 // where op is identity or transpose per transA/transB. m, n, k are the
 // dimensions of op(A) (m×k) and op(B) (k×n); storage is row-major with A
 // stored m×k (or k×m when transA) and B stored k×n (or n×k when transB).
-// Row blocks of C are computed in parallel when the problem is large enough
-// to amortize goroutine startup.
+//
+// Large problems are tiled over a 2-D (row-block × column-block) grid and
+// dispatched onto the shared kernels pool — column tiling is what keeps all
+// workers busy on the conv-lowered GEMMs, whose C is short (outC rows) but
+// very wide (outH*outW columns). The k dimension is never split and each C
+// element is produced by exactly one tile, so the per-element operation
+// order — and therefore every bit of the result — is identical to the
+// serial kernel regardless of worker count or tile shape.
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	if m == 0 || n == 0 {
 		return
 	}
+	if k == 0 || alpha == 0 {
+		// Pure beta pass; each range is written by exactly one task.
+		kernels.RunRange(m*n, minFlopsPerTile, func(lo, hi int) {
+			scaleRange(c[lo:hi], beta)
+		})
+		return
+	}
+
+	flops := m * n * k
+	tiles := kernels.Workers()
+	if lim := flops/minFlopsPerTile + 1; tiles > lim {
+		tiles = lim
+	}
+	if tiles <= 1 {
+		gemmTile(transA, transB, 0, m, 0, n, m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	// Prefer splitting rows (tiles stream through B once each); go 2-D when
+	// there are too few rows to occupy the pool — the conv shape.
+	rowBlocks := tiles
+	if rowBlocks > m {
+		rowBlocks = m
+	}
+	colBlocks := (tiles + rowBlocks - 1) / rowBlocks
+	if lim := n / minTileCols; colBlocks > lim {
+		colBlocks = lim
+	}
+	if colBlocks < 1 {
+		colBlocks = 1
+	}
+	rowsPer := (m + rowBlocks - 1) / rowBlocks
+	colsPer := (n + colBlocks - 1) / colBlocks
+	kernels.Run(rowBlocks*colBlocks, func(t int) {
+		rlo := (t / colBlocks) * rowsPer
+		rhi := rlo + rowsPer
+		if rhi > m {
+			rhi = m
+		}
+		clo := (t % colBlocks) * colsPer
+		chi := clo + colsPer
+		if chi > n {
+			chi = n
+		}
+		if rlo < rhi && clo < chi {
+			gemmTile(transA, transB, rlo, rhi, clo, chi, m, n, k, alpha, a, b, beta, c)
+		}
+	})
+}
+
+// scaleRange applies the beta prologue to a flat range of C.
+func scaleRange(c []float32, beta float32) {
 	if beta == 0 {
-		for i := range c[:m*n] {
+		for i := range c {
 			c[i] = 0
 		}
 	} else if beta != 1 {
-		for i := range c[:m*n] {
+		for i := range c {
 			c[i] *= beta
 		}
 	}
-	if k == 0 || alpha == 0 {
-		return
-	}
-
-	workers := runtime.GOMAXPROCS(0)
-	const minFlopsPerWorker = 1 << 17
-	if flops := m * n * k; flops/workers < minFlopsPerWorker {
-		workers = flops/minFlopsPerWorker + 1
-	}
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 {
-		gemmRows(transA, transB, 0, m, m, n, k, alpha, a, b, c)
-		return
-	}
-	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRows(transA, transB, lo, hi, m, n, k, alpha, a, b, c)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
-// gemmRows accumulates rows [lo,hi) of C += alpha*op(A)*op(B). fullM is the
-// complete row count of op(A); it is the row stride of A when transA is set.
-func gemmRows(transA, transB bool, lo, hi, fullM, n, k int, alpha float32, a, b []float32, c []float32) {
+// gemmTile computes the C tile rows [rlo,rhi) × cols [clo,chi) of
+// C = alpha*op(A)*op(B) + beta*C. fullM/fullN are the complete dimensions of
+// op(A)'s rows and op(B)'s columns — the storage strides. The tile applies
+// its own beta prologue: tiles cover C disjointly, so the scale-then-
+// accumulate order per element matches the serial kernel exactly.
+func gemmTile(transA, transB bool, rlo, rhi, clo, chi, fullM, fullN, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	n := fullN
+	for i := rlo; i < rhi; i++ {
+		scaleRange(c[i*n+clo:i*n+chi], beta)
+	}
+	width := chi - clo
 	switch {
 	case !transA && !transB:
 		// ikj loop with hoisted scalar: contiguous runs over B and C rows.
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : i*n+n]
+		for i := rlo; i < rhi; i++ {
+			ci := c[i*n+clo : i*n+chi]
 			ai := a[i*k : i*k+k]
 			for p, av := range ai {
 				s := alpha * av
 				if s == 0 {
 					continue
 				}
-				bp := b[p*n : p*n+n]
+				bp := b[p*n+clo : p*n+chi]
 				for j, bv := range bp {
 					ci[j] += s * bv
 				}
@@ -99,14 +139,14 @@ func gemmRows(transA, transB bool, lo, hi, fullM, n, k int, alpha float32, a, b 
 		}
 	case transA && !transB:
 		// A stored k×fullM: op(A)[i,p] = a[p*fullM+i].
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : i*n+n]
+		for i := rlo; i < rhi; i++ {
+			ci := c[i*n+clo : i*n+chi]
 			for p := 0; p < k; p++ {
 				s := alpha * a[p*fullM+i]
 				if s == 0 {
 					continue
 				}
-				bp := b[p*n : p*n+n]
+				bp := b[p*n+clo : p*n+chi]
 				for j, bv := range bp {
 					ci[j] += s * bv
 				}
@@ -114,11 +154,11 @@ func gemmRows(transA, transB bool, lo, hi, fullM, n, k int, alpha float32, a, b 
 		}
 	case !transA && transB:
 		// B stored n×k: op(B)[p,j] = b[j*k+p]; row-by-row dot products.
-		for i := lo; i < hi; i++ {
+		for i := rlo; i < rhi; i++ {
 			ai := a[i*k : i*k+k]
-			ci := c[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : j*k+k]
+			ci := c[i*n+clo : i*n+chi]
+			for j := 0; j < width; j++ {
+				bj := b[(clo+j)*k : (clo+j)*k+k]
 				var s float32
 				for p, av := range ai {
 					s += av * bj[p]
@@ -127,10 +167,10 @@ func gemmRows(transA, transB bool, lo, hi, fullM, n, k int, alpha float32, a, b 
 			}
 		}
 	default: // transA && transB
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : j*k+k]
+		for i := rlo; i < rhi; i++ {
+			ci := c[i*n+clo : i*n+chi]
+			for j := 0; j < width; j++ {
+				bj := b[(clo+j)*k : (clo+j)*k+k]
 				var s float32
 				for p := 0; p < k; p++ {
 					s += a[p*fullM+i] * bj[p]
