@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/allreduce"
 	"repro/internal/compress"
@@ -56,6 +57,11 @@ func main() {
 	chaosRejoin := flag.Bool("chaos-rejoin", true, "rejoin each killed rank two steps after its crash, exercising world growth as well as shrinkage")
 	chaosTolerance := flag.Float64("chaos-tolerance", 0.1, "allowed relative final-loss drift vs the failure-free baseline before -chaos exits nonzero")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed for the -chaos workload (equal seeds reproduce the run bit for bit)")
+	chaosScenario := flag.String("chaos-scenario", "kill", "fault scenario for -chaos: kill (plain crashes), kill-negotiation (a second victim dies inside the membership negotiation), kill-restore (a second victim dies after applying the restored checkpoint), or netsplit (crashes under seeded message loss, mailbox only)")
+	chaosTransport := flag.String("chaos-transport", "mem", "fabric for the -chaos workload: mem (in-process mailboxes) or tcp (real loopback sockets)")
+	spares := flag.Int("spares", 0, "standby identities for -chaos: up to this many victims are backfilled by spare-pool admission instead of rejoining")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 50*time.Millisecond, "heartbeat send period for the -chaos failure monitor")
+	suspectAfter := flag.Duration("suspect-after", 0, "heartbeat silence before a peer is suspected dead in -chaos (0: match the 2s receive detect timeout)")
 	kernelsBench := flag.Bool("kernels", false, "run the compute-kernels throughput workload (GEMM GFLOP/s, conv step time, codec GB/s)")
 	kernelsBaseline := flag.String("kernels-baseline", "", "compare the -kernels run against this committed baseline JSON and fail on regression")
 	kernelsMaxRegress := flag.Float64("kernels-max-regress", 2.0, "allowed throughput shrink factor vs the -kernels-baseline")
@@ -82,7 +88,21 @@ func main() {
 	}
 
 	if *chaos {
-		if err := chaosWorkload(*chaosSeed, *learners, *steps, *chaosKillEvery, *chaosRejoin, *chaosTolerance, *jsonPath); err != nil {
+		err := chaosWorkload(chaosOpts{
+			seed:              *chaosSeed,
+			learners:          *learners,
+			steps:             *steps,
+			killEvery:         *chaosKillEvery,
+			rejoin:            *chaosRejoin,
+			scenario:          *chaosScenario,
+			transport:         *chaosTransport,
+			spares:            *spares,
+			heartbeatInterval: *heartbeatInterval,
+			suspectAfter:      *suspectAfter,
+			tolerance:         *chaosTolerance,
+			jsonPath:          *jsonPath,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
 		return

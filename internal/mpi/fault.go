@@ -19,6 +19,7 @@ var ErrRankDown = errors.New("mpi: rank down")
 var (
 	errInjectedCrash = errors.New("injected crash")
 	errDetectTimeout = errors.New("detection timeout")
+	errReconnecting  = errors.New("reconnect in progress")
 )
 
 // RankDownError is the concrete failure-detection error: Rank identifies the
@@ -64,6 +65,23 @@ func DownRank(err error) int {
 func IsDetectTimeout(err error) bool {
 	var rd *RankDownError
 	return errors.As(err, &rd) && errors.Is(rd.Cause, errDetectTimeout)
+}
+
+// IsReconnecting reports whether err is a TCP send failure whose bounded
+// reconnect attempts ran out while the peer was not (yet) confirmed dead —
+// a transient socket condition, not a failure verdict.
+func IsReconnecting(err error) bool {
+	var rd *RankDownError
+	return errors.As(err, &rd) && errors.Is(rd.Cause, errReconnecting)
+}
+
+// IsTransient reports whether err is a PRESUMED rank failure — a detection
+// timeout or a reconnect in progress — as opposed to a confirmed one (an
+// injected crash, a down-marked mailbox, a refused dial after the rank was
+// declared dead). Recovery protocols should retry through transient errors
+// and treat only confirmed ones as membership changes.
+func IsTransient(err error) bool {
+	return IsDetectTimeout(err) || IsReconnecting(err)
 }
 
 // FaultPlan is a deterministic, seedable fault profile for an in-process

@@ -46,7 +46,7 @@ func TestFaultCrashFailsSendsAndDrainsRecvs(t *testing.T) {
 	if _, err := c0.Recv(1, 7); !errors.Is(err, ErrRankDown) {
 		t.Fatalf("recv from dead rank: %v, want ErrRankDown", err)
 	}
-	if _, _, err := c0.tryRecv(1, 7); !errors.Is(err, ErrRankDown) {
+	if _, _, err := c0.TryRecv(1, 7); !errors.Is(err, ErrRankDown) {
 		t.Fatalf("tryRecv from dead rank: %v, want ErrRankDown", err)
 	}
 	// Sends to the dead rank fail too.

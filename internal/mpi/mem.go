@@ -42,9 +42,16 @@ type mailbox struct {
 	cond      *sync.Cond
 	queues    map[msgKey]*msgQueue
 	closed    bool
-	owner     int          // world rank owning this mailbox, for rank-down errors
-	ownerDown bool         // owner crashed: puts fail with ErrRankDown
-	down      map[int]bool // crashed source ranks: gets fail once drained
+	owner     int  // world rank owning this mailbox, for rank-down errors
+	ownerDown bool // owner crashed: puts fail with ErrRankDown
+	// down records source ranks marked dead; gets from them fail once their
+	// queues drain. The value is the observation that marked them: nil means
+	// CONFIRMED (a crash, a suspicion verdict), errDetectTimeout means
+	// PRESUMED from silence — the returned RankDownError carries it as the
+	// Cause, so recovery code can retry through presumptions while treating
+	// confirmations as membership changes. A confirmation overwrites a
+	// presumption, never the reverse.
+	down map[int]error
 }
 
 func newMailbox(owner int) *mailbox {
@@ -84,8 +91,8 @@ func (m *mailbox) get(k msgKey) ([]byte, error) {
 		if m.closed {
 			return nil, ErrClosed
 		}
-		if m.down[k.src] {
-			return nil, &RankDownError{Rank: k.src}
+		if err := m.downErr(k.src); err != nil {
+			return nil, err
 		}
 		m.cond.Wait()
 	}
@@ -114,8 +121,8 @@ func (m *mailbox) getTimeout(k msgKey, d time.Duration) ([]byte, error) {
 		if m.closed {
 			return nil, ErrClosed
 		}
-		if m.down[k.src] {
-			return nil, &RankDownError{Rank: k.src}
+		if err := m.downErr(k.src); err != nil {
+			return nil, err
 		}
 		if !time.Now().Before(deadline) {
 			return nil, &RankDownError{Rank: k.src, Cause: errDetectTimeout}
@@ -137,22 +144,59 @@ func (m *mailbox) tryGet(k msgKey) (data []byte, ok bool, err error) {
 	if m.closed {
 		return nil, true, ErrClosed
 	}
-	if m.down[k.src] {
-		return nil, true, &RankDownError{Rank: k.src}
+	if err := m.downErr(k.src); err != nil {
+		return nil, true, err
 	}
 	return nil, false, nil
 }
 
-// markDown records that the given source rank crashed; blocked gets matching
-// it wake up and fail once their queues drain.
+// downErr builds the typed failure for a down-marked source, nil when the
+// source is not marked. Caller holds m.mu.
+func (m *mailbox) downErr(src int) error {
+	cause, ok := m.down[src]
+	if !ok {
+		return nil
+	}
+	return &RankDownError{Rank: src, Cause: cause}
+}
+
+// markDown records a CONFIRMED failure of the given source rank — a crash or
+// an explicit suspicion verdict; blocked gets matching it wake up and fail
+// once their queues drain. Overwrites an earlier presumptive marking.
 func (m *mailbox) markDown(rank int) {
 	m.mu.Lock()
 	if m.down == nil {
-		m.down = make(map[int]bool)
+		m.down = make(map[int]error)
 	}
-	m.down[rank] = true
+	m.down[rank] = nil
 	m.cond.Broadcast()
 	m.mu.Unlock()
+}
+
+// markDownCause records a PRESUMED failure (e.g. a detection timeout) of the
+// given source rank: later receives fail fast but stay transient-typed, so a
+// rank merely slow to respond is retried through rather than evicted. A
+// confirmed marking already in place is never downgraded.
+func (m *mailbox) markDownCause(rank int, cause error) {
+	m.mu.Lock()
+	if m.down == nil {
+		m.down = make(map[int]error)
+	}
+	if _, ok := m.down[rank]; !ok {
+		m.down[rank] = cause
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// confirmedDown reports whether the source rank has a CONFIRMED dead marking
+// at this mailbox. Sends fail fast only on confirmation; a presumed-dead peer
+// still gets send attempts (it may just be slow).
+func (m *mailbox) confirmedDown(rank int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cause, ok := m.down[rank]
+	return ok && cause == nil
 }
 
 // markOwnerDown records that this mailbox's own rank crashed; subsequent puts
@@ -228,6 +272,39 @@ func (w *World) MustComm(rank int) *Comm {
 		panic(err)
 	}
 	return c
+}
+
+// controlCtx is the reserved communicator context for out-of-band control
+// traffic (heartbeats). Application comms use ctx 1 and hashed Sub contexts,
+// so control frames can never be mistaken for training messages.
+const controlCtx uint64 = 0xC0
+
+// ControlComm returns a communicator on the reserved control context that
+// bypasses the fault injector's message drops, straggler delays, and
+// detection timeouts — the out-of-band channel a failure detector itself
+// runs over. Injected drops must not eat heartbeats, both because a real
+// deployment would run its detector on a separate QoS class and because
+// heartbeat sends ticking the injector's per-rank drop counters would make
+// the seeded drop schedule depend on wall-clock heartbeat timing. Suspicion
+// verdicts fed back through Suspect affect the whole mailbox, control
+// traffic included.
+func (w *World) ControlComm(rank int) (*Comm, error) {
+	group := make([]int, len(w.boxes))
+	for i := range group {
+		group[i] = i
+	}
+	return newComm(&memTransport{world: w, rank: rank}, rank, group, controlCtx)
+}
+
+// Suspect records a LOCAL failure verdict: observer presumes rank dead, so
+// observer's blocked and future receives from rank fail with a typed
+// *RankDownError once rank's already-delivered messages drain. Unlike
+// Crash, nothing happens world-wide — suspicion is one rank's opinion,
+// which is exactly what a heartbeat monitor produces. A false suspicion is
+// therefore contained: the suspected rank keeps running, and the membership
+// protocol reconciles the disagreement at the next epoch.
+func (w *World) Suspect(observer, rank int) {
+	w.boxes[observer].markDown(rank)
 }
 
 // Close shuts the world down; blocked receivers return ErrClosed.

@@ -67,7 +67,7 @@ func (r *Request) Test() bool {
 	if !r.lazy {
 		return true
 	}
-	b, ok, err := r.c.tryRecv(r.src, r.tag)
+	b, ok, err := r.c.TryRecv(r.src, r.tag)
 	if !ok {
 		return false
 	}
@@ -91,8 +91,11 @@ func (r *Request) Release() {
 	}
 }
 
-// tryRecv is the non-blocking counterpart of Recv.
-func (c *Comm) tryRecv(src, tag int) ([]byte, bool, error) {
+// TryRecv is the non-blocking counterpart of Recv: ok reports whether a
+// matching message (or a terminal transport error) was available. Pollers —
+// the heartbeat monitor above all — use it to watch many peers without ever
+// blocking on one.
+func (c *Comm) TryRecv(src, tag int) ([]byte, bool, error) {
 	if src < 0 || src >= len(c.group) {
 		return nil, true, fmt.Errorf("mpi: recv from invalid rank %d (size %d)", src, len(c.group))
 	}

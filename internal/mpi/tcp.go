@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,6 +15,22 @@ import (
 // where each learner is a separate OS process (or to exercise a real network
 // stack under the collectives). Frames are length-prefixed:
 // [src:4][ctx:8][tag:4][len:4][payload].
+//
+// Failure handling mirrors the in-memory world's three detection channels:
+//
+//   - A broken outbound connection is retried through a bounded reconnect
+//     (exponential backoff with a cap) so a transient socket error is not a
+//     crash; only exhausted retries surface, as a typed *RankDownError whose
+//     cause is transient (IsReconnecting) unless the peer is already marked
+//     down, in which case the send fails fast and confirmed.
+//   - With SetDetectTimeout armed, a Recv that sees no matching message
+//     within the window presumes the source dead (typed, IsDetectTimeout),
+//     and inbound connections idle past twice the window are closed with
+//     their last-seen source marked down — a rank that dies BETWEEN frames
+//     is detected even when nobody is blocked receiving from it.
+//   - MarkDown accepts an external failure verdict (a heartbeat monitor's
+//     suspicion): blocked and future receives from the rank fail typed once
+//     its delivered frames drain, and sends to it fail fast.
 type TCPWorld struct {
 	rank      int
 	addrs     []string
@@ -23,8 +40,28 @@ type TCPWorld struct {
 	conns     map[int]net.Conn // outbound, keyed by peer rank
 	accepted  []net.Conn       // inbound, closed on shutdown
 	closeOnce sync.Once
+	closed    bool
 	wg        sync.WaitGroup
-	detect    time.Duration // heartbeat-style Recv deadline; 0 disables
+	detect    atomic.Int64 // heartbeat-style Recv deadline in ns; 0 disables
+	policy    ReconnectPolicy
+}
+
+// ReconnectPolicy bounds how hard a TCP send tries to revive a broken
+// outbound connection before declaring the peer unreachable.
+type ReconnectPolicy struct {
+	// Attempts is the number of redials after the first failure.
+	Attempts int
+	// Backoff is the delay before the first redial; it doubles per attempt.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling.
+	MaxBackoff time.Duration
+}
+
+// DefaultReconnectPolicy keeps a transient hiccup invisible (~4 redials
+// inside half a second) without letting a genuinely dead peer stall sends
+// much longer than a failure-detection window.
+func DefaultReconnectPolicy() ReconnectPolicy {
+	return ReconnectPolicy{Attempts: 4, Backoff: 25 * time.Millisecond, MaxBackoff: 200 * time.Millisecond}
 }
 
 const tcpFrameHeader = 4 + 8 + 4 + 4
@@ -46,6 +83,7 @@ func NewTCPWorld(rank int, addrs []string) (*TCPWorld, error) {
 		listener: ln,
 		box:      newMailbox(rank),
 		conns:    make(map[int]net.Conn),
+		policy:   DefaultReconnectPolicy(),
 	}
 	w.wg.Add(1)
 	go w.acceptLoop()
@@ -59,13 +97,30 @@ func (w *TCPWorld) Addr() string { return w.listener.Addr().String() }
 // assignment, before any Send).
 func (w *TCPWorld) SetAddrs(addrs []string) { w.addrs = append([]string(nil), addrs...) }
 
-// SetDetectTimeout enables heartbeat-style failure detection: a Recv that
-// sees no matching message within d presumes the source dead, marks it down
-// (subsequent receives from it fail fast), and returns a *RankDownError.
-// There is no out-of-band heartbeat channel — the expected message IS the
-// heartbeat, which is the right model for a collective pipeline whose peers
-// exchange traffic every bucket. Call before Recv; zero disables.
-func (w *TCPWorld) SetDetectTimeout(d time.Duration) { w.detect = d }
+// SetDetectTimeout enables failure detection on the receive path: a Recv
+// that sees no matching message within d presumes the source dead, marks it
+// down (subsequent receives from it fail fast), and returns a typed
+// *RankDownError — and inbound connections idle past 2d are closed with
+// their last-seen source marked down. The expected message stream (plus any
+// heartbeats riding the same connection) IS the liveness signal. Call
+// before Recv; zero disables.
+func (w *TCPWorld) SetDetectTimeout(d time.Duration) { w.detect.Store(int64(d)) }
+
+// SetReconnectPolicy overrides the bounded-reconnect behavior of Send.
+// Attempts <= 0 disables reconnection (first failure surfaces immediately).
+func (w *TCPWorld) SetReconnectPolicy(p ReconnectPolicy) { w.policy = p }
+
+// MarkDown records an external failure verdict for a peer rank — typically
+// a heartbeat monitor's suspicion. Blocked receives from the rank wake and
+// fail with a typed *RankDownError once its already-delivered frames drain,
+// and subsequent sends to it fail fast instead of burning reconnect
+// attempts against a dead listener.
+func (w *TCPWorld) MarkDown(rank int) {
+	if rank == w.rank {
+		return
+	}
+	w.box.markDown(rank)
+}
 
 func (w *TCPWorld) acceptLoop() {
 	defer w.wg.Done()
@@ -86,8 +141,28 @@ func (w *TCPWorld) readLoop(conn net.Conn) {
 	defer w.wg.Done()
 	defer conn.Close()
 	var hdr [tcpFrameHeader]byte
+	lastSrc := -1
 	for {
+		// The read deadline is the connection-level failure detector: with
+		// detection armed, an inbound connection that carries no frame for
+		// two full windows belongs to a peer that died between frames (its
+		// heartbeats would otherwise ride this very connection). Mark the
+		// last source seen on it down so receivers fail typed instead of
+		// blocking forever.
+		if d := time.Duration(w.detect.Load()); d > 0 {
+			conn.SetReadDeadline(time.Now().Add(2 * d))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && lastSrc >= 0 {
+				// Presumptive, not confirmed: silence on an idle connection
+				// is strong evidence but the peer may only be stalled. The
+				// transient cause lets recovery retry through it; a monitor's
+				// MarkDown upgrades it to confirmed.
+				w.box.markDownCause(lastSrc, errDetectTimeout)
+			}
 			return
 		}
 		src := int(int32(binary.LittleEndian.Uint32(hdr[0:])))
@@ -99,6 +174,7 @@ func (w *TCPWorld) readLoop(conn net.Conn) {
 			PutBytes(payload)
 			return
 		}
+		lastSrc = src
 		if w.box.put(msgKey{src: src, ctx: ctx, tag: tag}, payload) != nil {
 			PutBytes(payload)
 			return
@@ -115,7 +191,24 @@ func (w *TCPWorld) Comm() (*Comm, error) {
 	return newComm(w, w.rank, group, 1)
 }
 
-// Send implements Transport.
+// ControlComm returns a communicator on the reserved control context,
+// isolated from Comm and every Sub derived from it — the out-of-band
+// channel heartbeats travel on. Over TCP the control frames share each
+// peer's single connection with application traffic, so they double as the
+// connection-level liveness signal the read deadline watches.
+func (w *TCPWorld) ControlComm() (*Comm, error) {
+	group := make([]int, len(w.addrs))
+	for i := range group {
+		group[i] = i
+	}
+	return newComm(w, w.rank, group, controlCtx)
+}
+
+// Send implements Transport. A broken connection is redialed under the
+// reconnect policy; a peer marked down (by a failure detector or an earlier
+// timeout) fails fast with a confirmed *RankDownError, and exhausted
+// retries against an unmarked peer fail transient (IsReconnecting) so
+// recovery protocols can retry rather than evict.
 func (w *TCPWorld) Send(dst int, ctx uint64, tag int, data []byte) error {
 	if dst == w.rank {
 		cp := GetBytes(len(data))
@@ -126,9 +219,8 @@ func (w *TCPWorld) Send(dst int, ctx uint64, tag int, data []byte) error {
 		}
 		return nil
 	}
-	conn, err := w.conn(dst)
-	if err != nil {
-		return err
+	if w.box.confirmedDown(dst) {
+		return &RankDownError{Rank: dst}
 	}
 	frame := GetBytes(tcpFrameHeader + len(data))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(w.rank))
@@ -136,16 +228,60 @@ func (w *TCPWorld) Send(dst int, ctx uint64, tag int, data []byte) error {
 	binary.LittleEndian.PutUint32(frame[12:], uint32(tag))
 	binary.LittleEndian.PutUint32(frame[16:], uint32(len(data)))
 	copy(frame[tcpFrameHeader:], data)
-	w.mu.Lock()
-	_, err = conn.Write(frame)
-	w.mu.Unlock()
+	err := w.writeFrame(dst, frame)
 	PutBytes(frame)
-	if err != nil {
-		// A dead peer shows up as a broken connection: surface it as a
-		// rank failure so callers can distinguish it from local errors.
-		return &RankDownError{Rank: dst, Cause: fmt.Errorf("tcp send: %w", err)}
+	return err
+}
+
+// writeFrame delivers one framed message to dst, redialing through the
+// reconnect policy on failure.
+func (w *TCPWorld) writeFrame(dst int, frame []byte) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
 	}
-	return nil
+	w.mu.Unlock()
+	backoff := w.policy.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > w.policy.Attempts {
+				break
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > w.policy.MaxBackoff && w.policy.MaxBackoff > 0 {
+				backoff = w.policy.MaxBackoff
+			}
+			// A failure verdict may have landed while backing off; stop
+			// dialing a peer already known dead.
+			if w.box.confirmedDown(dst) {
+				return &RankDownError{Rank: dst, Cause: lastErr}
+			}
+		}
+		conn, err := w.conn(dst)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return ErrClosed
+		}
+		_, err = conn.Write(frame)
+		w.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		w.dropConn(dst, conn)
+	}
+	if w.box.confirmedDown(dst) {
+		return &RankDownError{Rank: dst, Cause: lastErr}
+	}
+	return &RankDownError{Rank: dst, Cause: fmt.Errorf("tcp send after %d attempts: %w (last: %v)", w.policy.Attempts+1, errReconnecting, lastErr)}
 }
 
 // SendOwned implements Transport: over TCP the buffer is serialized into the
@@ -165,16 +301,44 @@ func (w *TCPWorld) SendOwned(dst int, ctx uint64, tag int, data []byte) error {
 
 func (w *TCPWorld) conn(dst int) (net.Conn, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if c, ok := w.conns[dst]; ok {
+		w.mu.Unlock()
 		return c, nil
 	}
-	c, err := net.Dial("tcp", w.addrs[dst])
+	addr := w.addrs[dst]
+	w.mu.Unlock()
+	// Dial outside the lock: a slow or dead peer must not stall sends to
+	// every other rank.
+	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, &RankDownError{Rank: dst, Cause: fmt.Errorf("tcp dial %s: %w", w.addrs[dst], err)}
+		return nil, fmt.Errorf("tcp dial %s: %w", addr, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := w.conns[dst]; ok {
+		// Lost the dial race; keep the established connection so frames
+		// stay ordered on a single stream.
+		c.Close()
+		return existing, nil
 	}
 	w.conns[dst] = c
 	return c, nil
+}
+
+// dropConn discards a broken outbound connection so the next attempt
+// redials (only if it is still the registered one — a concurrent sender may
+// already have replaced it).
+func (w *TCPWorld) dropConn(dst int, c net.Conn) {
+	w.mu.Lock()
+	if w.conns[dst] == c {
+		delete(w.conns, dst)
+	}
+	w.mu.Unlock()
+	c.Close()
 }
 
 // Recv implements Transport. With a detection timeout set, a silent source
@@ -182,12 +346,16 @@ func (w *TCPWorld) conn(dst int) (net.Conn, error) {
 // marked down so later receives fail without waiting out the timeout again.
 func (w *TCPWorld) Recv(src int, ctx uint64, tag int) ([]byte, error) {
 	k := msgKey{src: src, ctx: ctx, tag: tag}
-	if w.detect <= 0 {
+	d := time.Duration(w.detect.Load())
+	if d <= 0 {
 		return w.box.get(k)
 	}
-	b, err := w.box.getTimeout(k, w.detect)
+	b, err := w.box.getTimeout(k, d)
 	if err != nil && errors.Is(err, errDetectTimeout) {
-		w.box.markDown(src)
+		// Keep the marking presumptive: later receives fail fast but stay
+		// transient-typed (IsDetectTimeout), so a recovery protocol waiting
+		// on a slow-but-live peer retries instead of evicting it.
+		w.box.markDownCause(src, errDetectTimeout)
 	}
 	return b, err
 }
@@ -206,6 +374,7 @@ func (w *TCPWorld) Close() error {
 	w.closeOnce.Do(func() {
 		w.listener.Close()
 		w.mu.Lock()
+		w.closed = true
 		for _, c := range w.conns {
 			c.Close()
 		}

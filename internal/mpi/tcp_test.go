@@ -1,9 +1,11 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // startTCPCluster brings up n TCP ranks on dynamic localhost ports and
@@ -154,5 +156,164 @@ func TestTCPLargeMessage(t *testing.T) {
 func TestTCPInvalidRank(t *testing.T) {
 	if _, err := NewTCPWorld(3, []string{"127.0.0.1:0"}); err == nil {
 		t.Fatal("rank out of range should error")
+	}
+}
+
+// A send whose peer never listens must fail TRANSIENT (reconnect in
+// progress) after the bounded backoff — the peer is unreachable, not
+// confirmed dead — while a send to a down-marked rank fails fast and
+// confirmed, without burning reconnect attempts.
+func TestTCPSendTransientThenConfirmed(t *testing.T) {
+	w, err := NewTCPWorld(0, []string{"127.0.0.1:0", "127.0.0.1:1"}) // port 1: nothing listens
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetReconnectPolicy(ReconnectPolicy{Attempts: 2, Backoff: 5 * time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+	c, err := w.Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Send(1, 3, []byte("x"))
+	if !errors.Is(err, ErrRankDown) || !IsReconnecting(err) || !IsTransient(err) {
+		t.Fatalf("send to unreachable peer got %v, want transient ErrRankDown", err)
+	}
+	if DownRank(err) != 1 {
+		t.Fatalf("transient error blames rank %d, want 1", DownRank(err))
+	}
+	w.MarkDown(1)
+	start := time.Now()
+	err = c.Send(1, 3, []byte("x"))
+	if !errors.Is(err, ErrRankDown) || IsTransient(err) {
+		t.Fatalf("send to down-marked peer got %v, want confirmed ErrRankDown", err)
+	}
+	if time.Since(start) > 5*time.Millisecond {
+		t.Fatalf("down-marked send took %v, want fail-fast", time.Since(start))
+	}
+}
+
+// A peer that dies BETWEEN frames must not leave the receiver blocked
+// forever: with detection armed, the blocked Recv fails typed — first via
+// the recv deadline, and the idle inbound connection's read deadline marks
+// the silent source down for everyone else.
+func TestTCPRecvFailsTypedWhenPeerDiesBetweenFrames(t *testing.T) {
+	worlds := startTCPCluster(t, 2)
+	worlds[0].SetDetectTimeout(150 * time.Millisecond)
+	c0, err := worlds[0].Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := worlds[1].Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(0, 5, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Recv(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	worlds[1].Close() // dies between frames; no second message ever comes
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.Recv(1, 6)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrRankDown) || DownRank(err) != 1 {
+			t.Fatalf("recv from dead peer got %v, want ErrRankDown for rank 1", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv from dead peer blocked forever")
+	}
+	// The timeout down-marked the source: the next recv fails fast.
+	if _, err := c0.Recv(1, 7); !errors.Is(err, ErrRankDown) {
+		t.Fatalf("second recv got %v, want fast ErrRankDown", err)
+	}
+}
+
+// The inbound connection's read deadline detects a silent peer even when
+// NOBODY is blocked receiving from it — silence on the wire is itself the
+// failure signal once detection is armed.
+func TestTCPReadDeadlineMarksSilentPeerDown(t *testing.T) {
+	worlds := startTCPCluster(t, 2)
+	worlds[0].SetDetectTimeout(100 * time.Millisecond)
+	c0, err := worlds[0].Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := worlds[1].Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(0, 5, []byte("only")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Recv(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 stays alive but silent; no Recv is in flight on rank 0. The
+	// idle connection must get rank 1 down-marked within ~2 windows.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, ok, err := c0.TryRecv(1, 6)
+		if ok && errors.Is(err, ErrRankDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("silent peer never down-marked by the connection read deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A broken connection must be redialed transparently: kill the peer's
+// endpoint, bring a new one up on the same address, and sends resume
+// without the caller ever seeing the reset.
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	worlds := startTCPCluster(t, 2)
+	worlds[0].SetReconnectPolicy(ReconnectPolicy{Attempts: 10, Backoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond})
+	c0, err := worlds[0].Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Send(1, 5, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	addr := worlds[1].Addr()
+	worlds[1].Close()
+	restarted, err := NewTCPWorld(1, []string{worlds[0].Addr(), addr})
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	t.Cleanup(func() { restarted.Close() })
+	// The first write after the reset may be absorbed by the OS buffer and
+	// lost; keep sending until one lands on the restarted endpoint.
+	c1, err := restarted.Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := c1.Recv(0, 6)
+		got <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := c0.Send(1, 6, []byte("post")); err != nil {
+			t.Fatalf("send never reconnected: %v", err)
+		}
+		select {
+		case err := <-got:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted peer never received a frame")
+		}
 	}
 }
