@@ -38,6 +38,11 @@ type chaosOpts struct {
 	scenario string
 	// transport: "mem" (default) or "tcp" for real loopback sockets.
 	transport string
+	// codec/topkRatio select the gradient wire format for BOTH the chaos run
+	// and its failure-free baseline, so lossy codecs stay comparable: the
+	// tolerance gate measures crash damage, not compression error.
+	codec     string
+	topkRatio float64
 	// spares backfills up to this many victims with standby identities
 	// instead of rejoining them — the spare-pool admission path.
 	spares            int
@@ -53,6 +58,7 @@ type chaosReport struct {
 	Workload             string          `json:"workload"`
 	Scenario             string          `json:"scenario"`
 	Transport            string          `json:"transport"`
+	Codec                string          `json:"codec"`
 	Seed                 int64           `json:"seed"`
 	Learners             int             `json:"learners"`
 	GlobalBatch          int             `json:"global_batch"`
@@ -196,6 +202,9 @@ func chaosWorkload(o chaosOpts) error {
 	if o.scenario == "" {
 		o.scenario = "kill"
 	}
+	if o.codec == "" {
+		o.codec = "none"
+	}
 	if o.transport == "" {
 		o.transport = elastic.TransportMem
 	}
@@ -226,9 +235,13 @@ func chaosWorkload(o chaosOpts) error {
 			Labels:            dataLabels,
 			InputC:            3, InputH: size, InputW: size,
 			Learner: core.Config{
-				Schedule:       sgd.Const(0.05),
-				SGD:            sgd.DefaultConfig(),
-				Compression:    compress.Config{Codec: "none"},
+				Schedule: sgd.Const(0.05),
+				SGD:      sgd.DefaultConfig(),
+				Compression: compress.Config{
+					Codec:         o.codec,
+					TopKRatio:     o.topkRatio,
+					ErrorFeedback: o.codec == "topk",
+				},
 				ShardOptimizer: true,
 			},
 			Plan: plan,
@@ -256,6 +269,7 @@ func chaosWorkload(o chaosOpts) error {
 		Workload:             "chaos",
 		Scenario:             o.scenario,
 		Transport:            o.transport,
+		Codec:                o.codec,
 		Seed:                 o.seed,
 		Learners:             o.learners,
 		GlobalBatch:          globalBatch,
@@ -302,8 +316,8 @@ func chaosWorkload(o chaosOpts) error {
 	rep.FinalLossDeltaRel = math.Abs(chaos.FinalLoss-baseline.FinalLoss) / math.Abs(baseline.FinalLoss)
 	rep.Passed = rep.FinalLossDeltaRel <= o.tolerance
 
-	fmt.Printf("chaos workload: scenario=%s transport=%s seed=%d learners=%d steps=%d kill-every=%d rejoin=%v spares=%d batch=%d\n",
-		o.scenario, o.transport, o.seed, o.learners, o.steps, o.killEvery, o.rejoin, o.spares, globalBatch)
+	fmt.Printf("chaos workload: scenario=%s transport=%s codec=%s seed=%d learners=%d steps=%d kill-every=%d rejoin=%v spares=%d batch=%d\n",
+		o.scenario, o.transport, o.codec, o.seed, o.learners, o.steps, o.killEvery, o.rejoin, o.spares, globalBatch)
 	for _, ev := range chaos.Events {
 		fmt.Printf("  %-6s identity %d at step %2d: world %d→%d, resumed at step %d (%d steps lost, recovery %.3fs)\n",
 			ev.Kind, ev.Identity, ev.Step, ev.OldWorld, ev.NewWorld, ev.ResumeStep, ev.StepsLost, ev.RecoverySec)

@@ -37,7 +37,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: fig5..fig16, table1, table2, or all")
 	nodes := flag.Int("nodes", 16, "node count for fig5")
 	plot := flag.Bool("plot", false, "render figs 13-16 as ASCII charts instead of tables")
-	compressAlg := flag.String("compress", "", "run the compression workload with this codec (none|int8|topk) instead of the paper experiments")
+	compressAlg := flag.String("compress", "", "run the compression workload with this codec (none|int8|topk|f16|bf16) instead of the paper experiments; also selects the wire format for the overlap/allocs/hier/shard/chaos workloads")
 	topkRatio := flag.Float64("topk-ratio", 0.1, "kept fraction per bucket for -compress=topk")
 	learners := flag.Int("learners", 4, "learner count for the compression/overlap workloads")
 	steps := flag.Int("steps", 60, "steps for the compression/overlap workloads")
@@ -96,6 +96,8 @@ func main() {
 			rejoin:            *chaosRejoin,
 			scenario:          *chaosScenario,
 			transport:         *chaosTransport,
+			codec:             *compressAlg,
+			topkRatio:         *topkRatio,
 			spares:            *spares,
 			heartbeatInterval: *heartbeatInterval,
 			suspectAfter:      *suspectAfter,

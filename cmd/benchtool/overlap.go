@@ -10,6 +10,7 @@ import (
 	"repro/internal/allreduce"
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/kernels"
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/sgd"
@@ -67,6 +68,34 @@ type overlapReport struct {
 	// BitwiseIdentical confirms the two schedules produced identical final
 	// parameters (the reactive pipeline's correctness guarantee).
 	BitwiseIdentical bool `json:"bitwise_identical"`
+	// Encode-parallel microbenchmark: the run's codec over a 1M-float buffer
+	// through AppendCompressAuto at one worker vs. the full pool, and the
+	// resulting speedup — the codec-side parallelism the Stream's batch
+	// encode exposes. On a 1-proc run the two are the same serial path and
+	// the speedup reads 1.0.
+	EncodeSerialGBs       float64 `json:"encode_serial_gbs"`
+	EncodePoolGBs         float64 `json:"encode_pool_gbs"`
+	EncodeParallelSpeedup float64 `json:"encode_parallel_speedup"`
+}
+
+// measureEncodeParallel times the codec's encode at one worker and at the
+// full pool width over a bucket big enough to engage the chunk-parallel
+// path, returning GB/s of uncompressed floats processed.
+func measureEncodeParallel(c compress.Codec) (serialGBs, poolGBs float64) {
+	const floats = 1 << 20
+	src := make([]float32, floats)
+	for i := range src {
+		src[i] = float32(i%251)*0.013 - 1.6
+	}
+	gb := 4 * float64(floats) / 1e9
+	scratch := make([]byte, 0, c.MaxCompressedSize(floats))
+	prev := kernels.SetWorkers(1)
+	s, _ := timeIt(func() { compress.AppendCompressAuto(c, scratch[:0], src) })
+	kernels.SetWorkers(prev)
+	serialGBs = gb / s
+	s, _ = timeIt(func() { compress.AppendCompressAuto(c, scratch[:0], src) })
+	poolGBs = gb / s
+	return serialGBs, poolGBs
 }
 
 // overlapWorkload trains the same comm-heavy configuration twice — phased
@@ -189,6 +218,12 @@ func overlapWorkload(codec string, topkRatio float64, learners, devices, steps i
 	if rep.Overlapped.StepSeconds > 0 {
 		rep.Speedup = rep.Phased.StepSeconds / rep.Overlapped.StepSeconds
 	}
+	if c, err := compress.New(compress.Config{Codec: codec, TopKRatio: topkRatio}); err == nil {
+		rep.EncodeSerialGBs, rep.EncodePoolGBs = measureEncodeParallel(c)
+		if rep.EncodeSerialGBs > 0 {
+			rep.EncodeParallelSpeedup = rep.EncodePoolGBs / rep.EncodeSerialGBs
+		}
+	}
 
 	fmt.Printf("overlap workload: codec=%s learners=%d devices=%d steps=%d grad=%d floats buckets=%d floats\n",
 		codec, learners, devices, steps, rep.GradFloats, bucketFloats)
@@ -201,6 +236,8 @@ func overlapWorkload(codec string, topkRatio float64, learners, devices, steps i
 	fmt.Printf("  overlap efficiency: %.3f (step time / compute+comm; <1 = communication hidden)\n", rep.OverlapEfficiency)
 	fmt.Printf("  comm hidden: %.1f%%   speedup: %.2fx   bitwise identical: %v\n",
 		100*rep.CommHiddenFraction, rep.Speedup, rep.BitwiseIdentical)
+	fmt.Printf("  encode (%s, 1M floats): %.2f GB/s serial, %.2f GB/s pool (%.2fx)\n",
+		codec, rep.EncodeSerialGBs, rep.EncodePoolGBs, rep.EncodeParallelSpeedup)
 	for _, pr := range rep.Phased.PerRank {
 		fmt.Printf("  rank %d AllReduceBytes: %d\n", pr.Rank, pr.AllReduceBytes)
 	}

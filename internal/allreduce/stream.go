@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/compress"
+	"repro/internal/kernels"
 	"repro/internal/mpi"
 )
 
@@ -270,47 +271,125 @@ func (s *Stream) Stats() (CompressedStats, error) {
 // exchange is all-to-all; in reduce-scatter mode (ShardBounds set) sends go
 // only to the bucket's shard owners and receives are posted only when this
 // rank is an owner.
+//
+// Encode is batch-parallel: when several buckets are already queued (a
+// backward pass finishing a burst of layers), launch drains as many as there
+// are free in-flight slots and compresses them as one fork-join on the
+// worker pool instead of head-of-line blocking the exchange behind each
+// serial encode. The batching is invisible to every contract: payload bytes
+// are identical (each bucket's encode is independent; within-bucket
+// parallelism is the codec's own byte-identical ParallelEncoder), exchange
+// operations are still posted serially in submission order by this goroutine
+// alone, and a slot is held for every drained bucket, so the in-flight cap
+// and the Results launch-order guarantee are unchanged.
 func (s *Stream) launch(inflight chan<- bucketJob) {
 	n := s.c.Size()
 	rank := s.c.Rank()
 	sb := s.opts.ShardBounds
-	for sub := range s.subs {
+	batch := make([]streamSub, 0, s.opts.MaxInFlight)
+	jobs := make([]bucketJob, s.opts.MaxInFlight)
+	open := true
+	for open {
+		sub, ok := <-s.subs
+		if !ok {
+			break
+		}
 		s.slots <- struct{}{}
+		batch = append(batch[:0], sub)
+		// Drain further already-submitted buckets without blocking: each one
+		// needs a free slot (tokens are fungible, so a speculative acquire
+		// that finds no queued bucket is simply given back).
+		for len(batch) < cap(batch) {
+			acquired := false
+			select {
+			case s.slots <- struct{}{}:
+				acquired = true
+			default:
+			}
+			if !acquired {
+				break
+			}
+			queued := false
+			select {
+			case more, k := <-s.subs:
+				if k {
+					batch = append(batch, more)
+					queued = true
+				} else {
+					open = false
+				}
+			default:
+			}
+			if !queued {
+				<-s.slots
+				break
+			}
+		}
+		s.encodeBatch(batch, jobs)
+		for i := range batch {
+			job := jobs[i]
+			jobs[i] = bucketJob{}
+			if s.hier != nil {
+				s.launchHier(&job)
+				inflight <- job
+				continue
+			}
+			tag := tagCompressed + job.idx%compressedTagSpan
+			for r := 0; r < n; r++ {
+				if r == rank {
+					continue
+				}
+				if sb == nil || shardOwns(sb, r, job.lo, job.hi) {
+					job.sendReqs = append(job.sendReqs, s.c.Isend(r, tag, job.payload))
+				}
+				if job.owned {
+					job.recvReqs[r] = s.c.Irecv(r, tag)
+				} else {
+					job.recvReqs[r] = nil
+				}
+			}
+			inflight <- job
+		}
+	}
+	close(inflight)
+}
+
+// encodeBatch compresses batch into jobs[:len(batch)], recycling retired
+// request tables. A single bucket encodes inline (the codec may still go
+// chunk-parallel internally); multiple buckets fan out one-per-task on the
+// pool, nesting-safe with the per-bucket parallelism. The pooled scratch
+// freelists are concurrency-safe channels, so pool workers may Get
+// concurrently.
+func (s *Stream) encodeBatch(batch []streamSub, jobs []bucketJob) {
+	n := s.c.Size()
+	rank := s.c.Rank()
+	sb := s.opts.ShardBounds
+	for i, sub := range batch {
 		var job bucketJob
 		select {
 		case job = <-s.free:
 		default:
 		}
 		job.idx, job.lo, job.hi = sub.idx, sub.lo, sub.hi
-		scratch := mpi.GetBytes(s.codec.MaxCompressedSize(len(sub.data)))
-		job.payload = s.codec.AppendCompress(scratch[:0], sub.data)
 		if job.recvReqs == nil {
 			job.recvReqs = make([]*mpi.Request, n)
 		}
 		job.sendReqs = job.sendReqs[:0]
 		job.owned = sb == nil || shardOwns(sb, rank, job.lo, job.hi)
-		if s.hier != nil {
-			s.launchHier(&job)
-			inflight <- job
-			continue
-		}
-		tag := tagCompressed + job.idx%compressedTagSpan
-		for r := 0; r < n; r++ {
-			if r == rank {
-				continue
-			}
-			if sb == nil || shardOwns(sb, r, job.lo, job.hi) {
-				job.sendReqs = append(job.sendReqs, s.c.Isend(r, tag, job.payload))
-			}
-			if job.owned {
-				job.recvReqs[r] = s.c.Irecv(r, tag)
-			} else {
-				job.recvReqs[r] = nil
-			}
-		}
-		inflight <- job
+		jobs[i] = job
 	}
-	close(inflight)
+	if len(batch) == 1 || kernels.Workers() <= 1 {
+		for i, sub := range batch {
+			scratch := mpi.GetBytes(s.codec.MaxCompressedSize(len(sub.data)))
+			jobs[i].payload = compress.AppendCompressAuto(s.codec, scratch[:0], sub.data)
+		}
+		return
+	}
+	kernels.Run(len(batch), func(i int) {
+		sub := batch[i]
+		scratch := mpi.GetBytes(s.codec.MaxCompressedSize(len(sub.data)))
+		jobs[i].payload = compress.AppendCompressAuto(s.codec, scratch[:0], sub.data)
+	})
 }
 
 // launchHier posts one bucket's hierarchical sends and receives: members

@@ -98,7 +98,22 @@ const roundMagic = float32(3 << 22)
 // float bits, the max-abs reduction is an integer compare (NaN bit patterns
 // exceed +Inf's, so non-finite inputs still poison the scale), and rounding
 // is the branchless magic-constant add.
-func (Int8) AppendCompress(dst []byte, src []float32) []byte {
+func (c Int8) AppendCompress(dst []byte, src []float32) []byte {
+	n := len(src)
+	scale := int8Scale(int8MaxBits(src))
+	off := len(dst)
+	dst = grow(dst, 4+n)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b, math.Float32bits(scale))
+	int8Quantize(b[4:4+n], src, scale)
+	return dst
+}
+
+// int8MaxBits scans src for the maximum magnitude, returned as its IEEE bit
+// pattern: |v| is an integer mask on the float bits and the reduction is an
+// integer compare, so the result is a pure max — independent of how the scan
+// is chunked, which is what lets the parallel encoder split it freely.
+func int8MaxBits(src []float32) uint32 {
 	n := len(src)
 	var m0, m1, m2, m3, m4, m5, m6, m7 uint32
 	i := 0
@@ -155,28 +170,31 @@ func (Int8) AppendCompress(dst []byte, src []float32) []byte {
 	if m7 > m0 {
 		m0 = m7
 	}
-	maxAbs := math.Float32frombits(m0)
+	return m0
+}
 
-	scale := maxAbs / 127
-	off := len(dst)
-	dst = grow(dst, 4+n)
-	b := dst[off:]
-	binary.LittleEndian.PutUint32(b, math.Float32bits(scale))
+// int8Scale derives the shared linear scale from the max-magnitude bits.
+func int8Scale(maxBits uint32) float32 {
+	return math.Float32frombits(maxBits) / 127
+}
+
+// int8Quantize fills q[i] = quantInt8(src[i], scale) — element-wise, so the
+// parallel encoder can split it over any chunking with identical bytes. A
+// zero or non-finite scale writes zero bytes: scale == 0 means an all-zero
+// (or all-subnormal) bucket; a NaN/Inf gradient element must surface as
+// divergence, exactly as the uncompressed path would — the scale decodes the
+// whole bucket to NaN/Inf, and float-to-int conversion of non-finite values
+// is implementation-defined, so don't attempt it.
+func int8Quantize(q []byte, src []float32, scale float32) {
+	n := len(src)
+	_ = q[:n]
 	if scale == 0 || math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
-		// scale == 0: all-zero (or all-subnormal) bucket quantizes to zeros.
-		// Non-finite scale: a NaN/Inf gradient element must surface as
-		// divergence, exactly as the uncompressed path would — the scale
-		// decodes the whole bucket to NaN/Inf. Quantized bytes stay zero;
-		// float-to-int conversion of non-finite values is implementation-
-		// defined, so don't attempt it.
-		q := b[4 : 4+n]
-		for i := range q {
+		for i := range q[:n] {
 			q[i] = 0
 		}
-		return dst
+		return
 	}
-	q := b[4 : 4+n]
-	i = 0
+	i := 0
 	for ; i+8 <= n; i += 8 {
 		s := src[i : i+8 : i+8]
 		d := q[i : i+8 : i+8]
@@ -192,7 +210,6 @@ func (Int8) AppendCompress(dst []byte, src []float32) []byte {
 	for ; i < n; i++ {
 		q[i] = quantInt8(src[i], scale)
 	}
-	return dst
 }
 
 // quantInt8 rounds v/scale to the nearest integer (ties to even) and clamps
@@ -268,10 +285,11 @@ func (Int8) DecompressAdd(dst []float32, payload []byte) error {
 
 // magSorter orders candidate indices by descending magnitude of the bucket
 // values, ties toward the lower index — a strict total order (no two
-// candidates compare equal), which is what makes the selection deterministic
-// and quickselect's partition loop safe. It implements sort.Interface on a
-// reusable struct — sort.Slice would allocate its closure and reflect-based
-// swapper on every bucket.
+// candidates compare equal), which is what makes the selection deterministic.
+// It is the reference comparator: the key-based quickselect below must keep
+// exactly the set a full sort under this order would keep (the equivalence
+// the TopKQuickselectMatchesSort suite pins), so it stays here as the
+// executable spec even though the hot path no longer runs it.
 type magSorter struct {
 	idx []int
 	src []float32
@@ -288,22 +306,51 @@ func (s *magSorter) Less(a, b int) bool {
 	return s.idx[a] < s.idx[b]
 }
 
-// selectCutoff is the window size below which selectTop falls back to
+// magKey packs one candidate into a single uint64 ordered exactly like
+// magSorter.Less, descending: the magnitude's IEEE bit pattern in the high
+// word (for non-negative floats, bit-pattern order IS magnitude order) and
+// the complemented index in the low word (equal magnitudes → equal bit
+// patterns → the larger ^idx, i.e. the LOWER index, wins). Selection then
+// needs no gathers into src and no float compares — partitioning is straight
+// uint64 arithmetic over a flat array, which is what took top-k encode from
+// ~0.3 GB/s to multi-GB/s. Keys are unique (the index field), so the order
+// is strictly total.
+//
+// Non-finite values: a NaN's magnitude bits exceed +Inf's, so NaN elements
+// are always selected (and poison the decoded bucket, exactly like the
+// uncompressed path would surface divergence); the old float comparator left
+// NaN ordering to the sort algorithm's whims.
+func magKey(v float32, i int) uint64 {
+	return uint64(math.Float32bits(v)&^(1<<31))<<32 | uint64(^uint32(i))
+}
+
+// magKeys fills keys[i] = magKey(src[i], base+i) — the element-wise pass the
+// parallel encoder splits across the worker pool (each key is a pure
+// function of one element, so chunk boundaries cannot affect the result).
+func magKeys(keys []uint64, src []float32, base int) {
+	_ = keys[:len(src)]
+	for i, v := range src {
+		keys[i] = magKey(v, base+i)
+	}
+}
+
+// selectCutoff is the window size below which selectTopKeys falls back to
 // insertion sort instead of partitioning further.
 const selectCutoff = 12
 
-// selectTop partially orders s.idx so positions [0, k) hold the k smallest
-// elements under Less — i.e. the k largest magnitudes — in unspecified
-// order. O(n) expected versus the O(n log n) full sort, and it selects the
-// IDENTICAL set the full sort would keep: Less is a strict total order, so
-// "the k smallest" is a unique set no matter how it is found.
-func (s *magSorter) selectTop(k int) {
-	lo, hi := 0, len(s.idx)
+// selectTopKeys partially orders keys so positions [0, k) hold the k largest
+// keys — i.e. the k largest magnitudes under the magSorter order — in
+// unspecified order. O(n) expected versus the O(n log n) full sort, and it
+// selects the IDENTICAL set the full sort would keep: the key order is
+// strictly total, so "the k largest" is a unique set no matter how it is
+// found.
+func selectTopKeys(keys []uint64, k int) {
+	lo, hi := 0, len(keys)
 	if k <= 0 || k >= hi {
 		return
 	}
 	for hi-lo > selectCutoff {
-		p := s.partition(lo, hi)
+		p := partitionKeys(keys, lo, hi)
 		if p == k || p == k-1 {
 			return
 		}
@@ -314,61 +361,70 @@ func (s *magSorter) selectTop(k int) {
 		}
 	}
 	for i := lo + 1; i < hi; i++ {
-		for j := i; j > lo && s.Less(j, j-1); j-- {
-			s.Swap(j, j-1)
+		for j := i; j > lo && keys[j] > keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
 	}
 }
 
-// partition picks a median-of-three pivot (deterministic — payloads must not
-// depend on a random source) and Lomuto-partitions [lo, hi), returning the
-// pivot's final position.
-func (s *magSorter) partition(lo, hi int) int {
+// partitionKeys picks a median-of-three pivot (deterministic — payloads must
+// not depend on a random source) and Lomuto-partitions [lo, hi) in
+// descending key order, returning the pivot's final position.
+func partitionKeys(keys []uint64, lo, hi int) int {
 	mid := lo + (hi-lo)/2
-	if s.Less(mid, lo) {
-		s.Swap(mid, lo)
+	if keys[mid] > keys[lo] {
+		keys[mid], keys[lo] = keys[lo], keys[mid]
 	}
-	if s.Less(hi-1, lo) {
-		s.Swap(hi-1, lo)
+	if keys[hi-1] > keys[lo] {
+		keys[hi-1], keys[lo] = keys[lo], keys[hi-1]
 	}
-	if s.Less(hi-1, mid) {
-		s.Swap(hi-1, mid)
+	if keys[hi-1] > keys[mid] {
+		keys[hi-1], keys[mid] = keys[mid], keys[hi-1]
 	}
-	s.Swap(mid, hi-1)
-	p := hi - 1
+	keys[mid], keys[hi-1] = keys[hi-1], keys[mid]
+	p := keys[hi-1]
 	i := lo
-	for j := lo; j < p; j++ {
-		if s.Less(j, p) {
-			s.Swap(i, j)
+	for j := lo; j < hi-1; j++ {
+		if keys[j] > p {
+			keys[i], keys[j] = keys[j], keys[i]
 			i++
 		}
 	}
-	s.Swap(i, p)
+	keys[i], keys[hi-1] = keys[hi-1], keys[i]
 	return i
 }
 
-// topkScratch recycles sorters (and their index scratch) across
-// AppendCompress calls: a bounded channel freelist, so reuse never allocates
-// and bursts fall through to make.
-var topkScratch = make(chan *magSorter, 16)
+// topkBuf is the per-encode scratch — the candidate keys and the kept-index
+// staging area — hoisted out of AppendCompress so steady-state top-k encode
+// allocates nothing.
+type topkBuf struct {
+	keys []uint64
+	kept []int
+}
 
-func getSorter(n int, src []float32) *magSorter {
-	var s *magSorter
+// topkScratch recycles encode scratch across AppendCompress calls: a bounded
+// channel freelist, so reuse never allocates and bursts fall through to make.
+var topkScratch = make(chan *topkBuf, 16)
+
+func getTopkBuf(n, k int) *topkBuf {
+	var s *topkBuf
 	select {
 	case s = <-topkScratch:
 	default:
-		s = &magSorter{}
+		s = &topkBuf{}
 	}
-	if cap(s.idx) < n {
-		s.idx = make([]int, n)
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
 	}
-	s.idx = s.idx[:n]
-	s.src = src
+	s.keys = s.keys[:n]
+	if cap(s.kept) < k {
+		s.kept = make([]int, k)
+	}
+	s.kept = s.kept[:k]
 	return s
 }
 
-func putSorter(s *magSorter) {
-	s.src = nil // don't pin the caller's gradient memory
+func putTopkBuf(s *topkBuf) {
 	select {
 	case topkScratch <- s:
 	default:
@@ -403,19 +459,28 @@ func (t TopK) keep(n int) int {
 // MaxCompressedSize implements Codec.
 func (t TopK) MaxCompressedSize(n int) int { return 4 + 8*t.keep(n) }
 
-// AppendCompress implements Codec. Selection is quickselect (expected O(n))
+// AppendCompress implements Codec. Selection is quickselect over packed
+// (magnitude-bits, ^index) keys (expected O(n), integer compares, no gathers)
 // rather than a full sort; the strict total order guarantees the kept SET —
 // and after the ascending index sort, the payload bytes — are identical to
-// what the full sort produced.
+// what the full sort under the magSorter order produced.
 func (t TopK) AppendCompress(dst []byte, src []float32) []byte {
 	n := len(src)
 	k := t.keep(n)
-	s := getSorter(n, src)
-	for i := range s.idx {
-		s.idx[i] = i
+	s := getTopkBuf(n, k)
+	magKeys(s.keys, src, 0)
+	return t.appendSelected(dst, src, s, k)
+}
+
+// appendSelected finishes an encode whose candidate keys are already built
+// (serially above, or chunk-parallel via AppendCompressParallel): select the
+// k largest keys, recover their indices, and write the canonical payload.
+func (t TopK) appendSelected(dst []byte, src []float32, s *topkBuf, k int) []byte {
+	selectTopKeys(s.keys, k)
+	kept := s.kept[:k]
+	for i, key := range s.keys[:k] {
+		kept[i] = int(^uint32(key))
 	}
-	s.selectTop(k)
-	kept := s.idx[:k]
 	sort.Ints(kept) // ascending index order keeps payloads canonical
 	off := len(dst)
 	dst = grow(dst, 4+8*k)
@@ -425,7 +490,7 @@ func (t TopK) AppendCompress(dst []byte, src []float32) []byte {
 		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(j))
 		binary.LittleEndian.PutUint32(b[4+4*k+4*i:], math.Float32bits(src[j]))
 	}
-	putSorter(s)
+	putTopkBuf(s)
 	return dst
 }
 

@@ -1,7 +1,8 @@
 // Package compress implements gradient-compression codecs for the
 // communication-efficient allreduce path: identity (no compression, the
 // accounting baseline), int8 linear quantization with a per-bucket scale,
-// and top-k sparsification. Codecs operate on one bucket of the flattened
+// top-k sparsification, and the float16/bfloat16 half-precision wire
+// formats. Codecs operate on one bucket of the flattened
 // gradient at a time (internal/allreduce.BucketedAllReduce drives them) and
 // are deterministic: the same input always yields the same payload, so every
 // rank decodes identical values and model replicas stay bitwise in sync.
@@ -59,7 +60,7 @@ func Encode(c Codec, src []float32) []byte {
 // bucketed path with the identity codec, so byte accounting is comparable
 // against the lossy codecs.
 type Config struct {
-	// Codec is one of "", "none", "int8", "topk".
+	// Codec is one of "", "none", "int8", "topk", "f16", "bf16".
 	Codec string
 	// TopKRatio is the fraction of elements the topk codec keeps per bucket
 	// (default 0.1, clamped to (0, 1]).
@@ -81,6 +82,10 @@ func New(cfg Config) (Codec, error) {
 		return Identity{}, nil
 	case "int8":
 		return Int8{}, nil
+	case "f16", "float16":
+		return Float16{}, nil
+	case "bf16", "bfloat16":
+		return BFloat16{}, nil
 	case "topk":
 		r := cfg.TopKRatio
 		if r <= 0 {

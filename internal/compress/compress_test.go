@@ -234,6 +234,10 @@ func TestNewSelectsCodec(t *testing.T) {
 		{Config{Codec: "identity"}, "none"},
 		{Config{Codec: "int8"}, "int8"},
 		{Config{Codec: "topk", TopKRatio: 0.2}, "topk"},
+		{Config{Codec: "f16"}, "f16"},
+		{Config{Codec: "float16"}, "f16"},
+		{Config{Codec: "bf16"}, "bf16"},
+		{Config{Codec: "bfloat16"}, "bf16"},
 	} {
 		c, err := New(tc.cfg)
 		if err != nil {
@@ -267,7 +271,7 @@ func TestNewSelectsCodec(t *testing.T) {
 // fresh encode — stale scratch contents must never leak into a payload (the
 // pooled hot path hands codecs dirty buffers by design).
 func TestAppendCompressScratchReuse(t *testing.T) {
-	codecs := []Codec{Identity{}, Int8{}, TopK{Ratio: 0.25}}
+	codecs := []Codec{Identity{}, Int8{}, TopK{Ratio: 0.25}, Float16{}, BFloat16{}}
 	for _, c := range codecs {
 		scratch := make([]byte, 0, c.MaxCompressedSize(512))
 		// Poison the scratch capacity so stale bytes are detectable.
@@ -291,7 +295,7 @@ func TestAppendCompressScratchReuse(t *testing.T) {
 
 // MaxCompressedSize must bound every payload (the pool sizes scratch with it).
 func TestMaxCompressedSizeBounds(t *testing.T) {
-	for _, c := range []Codec{Identity{}, Int8{}, TopK{Ratio: 0.1}, TopK{Ratio: 1}} {
+	for _, c := range []Codec{Identity{}, Int8{}, TopK{Ratio: 0.1}, TopK{Ratio: 1}, Float16{}, BFloat16{}} {
 		for _, n := range []int{1, 7, 100, 2048} {
 			src := randVec(n, int64(n))
 			if got, max := len(Encode(c, src)), c.MaxCompressedSize(n); got > max {

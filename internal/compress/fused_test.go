@@ -49,7 +49,7 @@ func fillBucket(rng *rand.Rand, n, mode int) []float32 {
 // payloads, which never contain -0 (the one case the sparse skip could
 // distinguish, documented on the interface).
 func TestDecompressAddMatchesDecompressThenAdd(t *testing.T) {
-	codecs := []Codec{Identity{}, Int8{}, TopK{Ratio: 0.1}, TopK{Ratio: 1}}
+	codecs := []Codec{Identity{}, Int8{}, TopK{Ratio: 0.1}, TopK{Ratio: 1}, Float16{}, BFloat16{}}
 	rng := rand.New(rand.NewSource(11))
 	for _, codec := range codecs {
 		for _, n := range []int{1, 7, 8, 9, 64, 1000} {
@@ -91,7 +91,7 @@ func TestDecompressAddMatchesDecompressThenAdd(t *testing.T) {
 // TestDecompressAddLengthErrors: the fused path validates payloads exactly
 // like Decompress.
 func TestDecompressAddLengthErrors(t *testing.T) {
-	for _, codec := range []Codec{Identity{}, Int8{}, TopK{Ratio: 0.5}} {
+	for _, codec := range []Codec{Identity{}, Int8{}, TopK{Ratio: 0.5}, Float16{}, BFloat16{}} {
 		dst := make([]float32, 16)
 		if err := codec.DecompressAdd(dst, []byte{1, 2, 3}); err == nil {
 			t.Fatalf("%s: short payload accepted", codec.Name())

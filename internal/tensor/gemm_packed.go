@@ -1,0 +1,404 @@
+package tensor
+
+import (
+	"repro/internal/kernels"
+)
+
+// Cache-blocked packed GEMM: the hot loop for large products.
+//
+// The streaming kernels in matmul.go read A and B in place, which for big
+// operands means every micro-step pays strided, cache-hostile loads (column
+// accesses in the transpose cases, full-width B rows evicting each other).
+// This path first packs both operands into contiguous panels — A into
+// mr-tall row panels and B into nr-wide column strips, both laid out k-major
+// so the inner kernel streams them linearly — then runs an mr×nr
+// register-tiled microkernel over the packed panels: all mr·nr partial sums
+// live in registers across the whole k loop, cutting the per-FLOP memory
+// traffic from ~3 accesses (load B, load C, store C) to ~1/2.
+//
+// Bitwise contract (the repo-wide determinism invariant): k is never split,
+// each C micro-tile is produced by exactly one task, and the microkernels
+// replay the serial reference's per-element operation sequence exactly —
+//
+//   - !transB (axpy order): the beta prologue, then for ascending p the
+//     update c[i][j] += s·b[p][j] with s = alpha·a[i][p], skipped when
+//     s == 0. The alpha multiply is folded into the A pack — the identical
+//     float32 product the serial kernel forms per (i, p) — and the skip
+//     tests the packed value, the identical condition.
+//   - transB (dot order): the accumulator starts at 0, sums a[i][p]·b[j][p]
+//     for ascending p, and lands as c[i][j] = beta-scaled C plus
+//     alpha·sum. A is packed unscaled here (the serial kernel multiplies by
+//     alpha only after the sum).
+//
+// Panels are pooled and reused across calls, so the steady state packs into
+// warm memory and allocates nothing.
+
+const (
+	// gemmMR × gemmNR is the microkernel tile: 16 scalar accumulators, the
+	// most the register file sustains before spills outweigh the reuse.
+	gemmMR = 4
+	gemmNR = 4
+)
+
+// minPackedFlops routes small products to the streaming kernels: below it
+// the two packing passes cost more than the locality they buy. A variable,
+// not a constant, so the equivalence tests can force the packed path on
+// small shapes.
+var minPackedFlops = 1 << 21
+
+// SetPackedMinFlops overrides the flop threshold above which Gemm routes
+// through the packed microkernel path and returns the previous value. It
+// exists so benchmarks can measure the streaming and packed paths on the
+// same shape (set it above m·n·k to force streaming); both paths produce
+// bitwise-identical results, so the override never changes outputs. Not
+// synchronized — call only around otherwise-quiescent Gemm use, as the
+// kernel benchmarks do.
+func SetPackedMinFlops(v int) int {
+	prev := minPackedFlops
+	minPackedFlops = v
+	return prev
+}
+
+// maxPackFloats bounds pooled panel memory (A panel + B panel, in floats);
+// products beyond it stream unpacked rather than double resident memory.
+const maxPackFloats = 1 << 24
+
+// packBuf is one pooled pair of packed panels.
+type packBuf struct {
+	a, b []float32
+}
+
+// packPool recycles panels across Gemm calls — a bounded channel freelist,
+// concurrency-safe for nested or concurrent Gemms.
+var packPool = make(chan *packBuf, 8)
+
+func getPackBuf(an, bn int) *packBuf {
+	var p *packBuf
+	select {
+	case p = <-packPool:
+	default:
+		p = &packBuf{}
+	}
+	if cap(p.a) < an {
+		p.a = make([]float32, an)
+	}
+	if cap(p.b) < bn {
+		p.b = make([]float32, bn)
+	}
+	p.a, p.b = p.a[:an], p.b[:bn]
+	return p
+}
+
+func putPackBuf(p *packBuf) {
+	select {
+	case packPool <- p:
+	default:
+	}
+}
+
+// gemmPacked runs the packed path when the problem is big enough to pay for
+// packing, reporting whether it handled the call. The packed region covers
+// the mr/nr-aligned prefix [0, mfull)×[0, nfull); the bottom row strip and
+// right column strip (at most mr-1 rows / nr-1 columns) run through the
+// streaming gemmTile over the unpacked operands — disjoint C regions, so
+// the combination is still exactly the serial reference per element.
+func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) bool {
+	if k == 0 || alpha == 0 || m*n*k < minPackedFlops {
+		return false
+	}
+	mfull := m - m%gemmMR
+	nfull := n - n%gemmNR
+	if mfull == 0 || nfull == 0 {
+		return false
+	}
+	if mfull*k+k*nfull > maxPackFloats {
+		return false
+	}
+	rowPanels := mfull / gemmMR
+	colStrips := nfull / gemmNR
+	pk := getPackBuf(mfull*k, k*nfull)
+	pa, pb := pk.a, pk.b
+
+	// Pack passes parallelize over whole panels/strips — each is written by
+	// exactly one task, and packing is pure copying (plus the exact alpha
+	// fold), so chunk boundaries cannot affect a single packed bit. The
+	// grain keeps each task copying at least ~32K floats.
+	foldAlpha := !transB
+	kernels.RunRange(colStrips, 1+(1<<15)/(gemmNR*k), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			packB(transB, s, n, k, b, pb[s*gemmNR*k:(s+1)*gemmNR*k])
+		}
+	})
+	kernels.RunRange(rowPanels, 1+(1<<15)/(gemmMR*k), func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			packA(transA, foldAlpha, t, m, k, alpha, a, pa[t*gemmMR*k:(t+1)*gemmMR*k])
+		}
+	})
+
+	// Tile the packed region over the pool in units of whole micro-tiles,
+	// preferring row splits and going 2-D for the short-and-wide conv
+	// shapes — the same heuristic as the streaming path, in mr/nr units.
+	tiles := kernels.Workers()
+	if lim := m*n*k/minFlopsPerTile + 1; tiles > lim {
+		tiles = lim
+	}
+	rowBlocks := tiles
+	if rowBlocks > rowPanels {
+		rowBlocks = rowPanels
+	}
+	colBlocks := (tiles + rowBlocks - 1) / rowBlocks
+	if lim := nfull / minTileCols; colBlocks > lim {
+		colBlocks = lim
+	}
+	if colBlocks < 1 {
+		colBlocks = 1
+	}
+	panelsPer := (rowPanels + rowBlocks - 1) / rowBlocks
+	stripsPer := (colStrips + colBlocks - 1) / colBlocks
+	kernels.Run(rowBlocks*colBlocks, func(t int) {
+		plo := (t / colBlocks) * panelsPer
+		phi := plo + panelsPer
+		if phi > rowPanels {
+			phi = rowPanels
+		}
+		slo := (t % colBlocks) * stripsPer
+		shi := slo + stripsPer
+		if shi > colStrips {
+			shi = colStrips
+		}
+		for pi := plo; pi < phi; pi++ {
+			ap := pa[pi*gemmMR*k : (pi+1)*gemmMR*k]
+			for si := slo; si < shi; si++ {
+				bp := pb[si*gemmNR*k : (si+1)*gemmNR*k]
+				ct := c[pi*gemmMR*n+si*gemmNR:]
+				if transB {
+					microDot(k, alpha, ap, bp, ct, n, beta)
+				} else {
+					microAxpy(k, ap, bp, ct, n, beta)
+				}
+			}
+		}
+	})
+
+	if mfull < m {
+		gemmTile(transA, transB, mfull, m, 0, n, m, n, k, alpha, a, b, beta, c)
+	}
+	if nfull < n {
+		gemmTile(transA, transB, 0, mfull, nfull, n, m, n, k, alpha, a, b, beta, c)
+	}
+	putPackBuf(pk)
+	return true
+}
+
+// packA copies row panel `panel` (gemmMR rows of op(A)) into dst, k-major:
+// dst[p*mr+r] = op(A)[i0+r, p], times alpha when foldAlpha (the axpy
+// kernel's s = alpha·a[i][p], formed here once instead of mr·nr times).
+func packA(transA, foldAlpha bool, panel, m, k int, alpha float32, a, dst []float32) {
+	i0 := panel * gemmMR
+	if !transA {
+		r0 := a[(i0+0)*k : (i0+0)*k+k : (i0+0)*k+k]
+		r1 := a[(i0+1)*k : (i0+1)*k+k : (i0+1)*k+k]
+		r2 := a[(i0+2)*k : (i0+2)*k+k : (i0+2)*k+k]
+		r3 := a[(i0+3)*k : (i0+3)*k+k : (i0+3)*k+k]
+		if foldAlpha {
+			for p := 0; p < k; p++ {
+				d := dst[4*p : 4*p+4 : 4*p+4]
+				d[0] = alpha * r0[p]
+				d[1] = alpha * r1[p]
+				d[2] = alpha * r2[p]
+				d[3] = alpha * r3[p]
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				d := dst[4*p : 4*p+4 : 4*p+4]
+				d[0] = r0[p]
+				d[1] = r1[p]
+				d[2] = r2[p]
+				d[3] = r3[p]
+			}
+		}
+		return
+	}
+	// A stored k×m: op(A)[i, p] = a[p*m+i] — the pack turns the strided
+	// column walk into one pass of contiguous 4-wide reads.
+	if foldAlpha {
+		for p := 0; p < k; p++ {
+			s := a[p*m+i0 : p*m+i0+4 : p*m+i0+4]
+			d := dst[4*p : 4*p+4 : 4*p+4]
+			d[0] = alpha * s[0]
+			d[1] = alpha * s[1]
+			d[2] = alpha * s[2]
+			d[3] = alpha * s[3]
+		}
+	} else {
+		for p := 0; p < k; p++ {
+			s := a[p*m+i0 : p*m+i0+4 : p*m+i0+4]
+			d := dst[4*p : 4*p+4 : 4*p+4]
+			d[0] = s[0]
+			d[1] = s[1]
+			d[2] = s[2]
+			d[3] = s[3]
+		}
+	}
+}
+
+// packB copies column strip `strip` (gemmNR columns of op(B)) into dst,
+// k-major: dst[p*nr+j] = op(B)[p, j0+j].
+func packB(transB bool, strip, n, k int, b, dst []float32) {
+	j0 := strip * gemmNR
+	if !transB {
+		for p := 0; p < k; p++ {
+			s := b[p*n+j0 : p*n+j0+4 : p*n+j0+4]
+			d := dst[4*p : 4*p+4 : 4*p+4]
+			d[0] = s[0]
+			d[1] = s[1]
+			d[2] = s[2]
+			d[3] = s[3]
+		}
+		return
+	}
+	// B stored n×k: op(B)[p, j] = b[j*k+p] — interleave four B rows k-major.
+	b0 := b[(j0+0)*k : (j0+0)*k+k : (j0+0)*k+k]
+	b1 := b[(j0+1)*k : (j0+1)*k+k : (j0+1)*k+k]
+	b2 := b[(j0+2)*k : (j0+2)*k+k : (j0+2)*k+k]
+	b3 := b[(j0+3)*k : (j0+3)*k+k : (j0+3)*k+k]
+	for p := 0; p < k; p++ {
+		d := dst[4*p : 4*p+4 : 4*p+4]
+		d[0] = b0[p]
+		d[1] = b1[p]
+		d[2] = b2[p]
+		d[3] = b3[p]
+	}
+}
+
+// microAxpy computes one 4×4 C tile in the !transB order: accumulators load
+// the beta-scaled C (the prologue, branch-compatible with scaleRange: 0,
+// untouched, or c·beta), then for ascending p each row adds s·b with the
+// packed s = alpha·a, skipped when s == 0 — per element, the serial
+// kernel's exact FP sequence. ap and bp are the k-major packed panels; ldc
+// is C's row stride.
+func microAxpy(k int, ap, bp []float32, c []float32, ldc int, beta float32) {
+	c0 := c[0*ldc : 0*ldc+4 : 0*ldc+4]
+	c1 := c[1*ldc : 1*ldc+4 : 1*ldc+4]
+	c2 := c[2*ldc : 2*ldc+4 : 2*ldc+4]
+	c3 := c[3*ldc : 3*ldc+4 : 3*ldc+4]
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	switch {
+	case beta == 1:
+		c00, c01, c02, c03 = c0[0], c0[1], c0[2], c0[3]
+		c10, c11, c12, c13 = c1[0], c1[1], c1[2], c1[3]
+		c20, c21, c22, c23 = c2[0], c2[1], c2[2], c2[3]
+		c30, c31, c32, c33 = c3[0], c3[1], c3[2], c3[3]
+	case beta != 0:
+		c00, c01, c02, c03 = c0[0]*beta, c0[1]*beta, c0[2]*beta, c0[3]*beta
+		c10, c11, c12, c13 = c1[0]*beta, c1[1]*beta, c1[2]*beta, c1[3]*beta
+		c20, c21, c22, c23 = c2[0]*beta, c2[1]*beta, c2[2]*beta, c2[3]*beta
+		c30, c31, c32, c33 = c3[0]*beta, c3[1]*beta, c3[2]*beta, c3[3]*beta
+	}
+	ap = ap[: 4*k : 4*k]
+	bp = bp[: 4*k : 4*k]
+	for p := 0; p < k; p++ {
+		bq := bp[4*p : 4*p+4 : 4*p+4]
+		sq := ap[4*p : 4*p+4 : 4*p+4]
+		b0, b1, b2, b3 := bq[0], bq[1], bq[2], bq[3]
+		if s := sq[0]; s != 0 {
+			c00 += s * b0
+			c01 += s * b1
+			c02 += s * b2
+			c03 += s * b3
+		}
+		if s := sq[1]; s != 0 {
+			c10 += s * b0
+			c11 += s * b1
+			c12 += s * b2
+			c13 += s * b3
+		}
+		if s := sq[2]; s != 0 {
+			c20 += s * b0
+			c21 += s * b1
+			c22 += s * b2
+			c23 += s * b3
+		}
+		if s := sq[3]; s != 0 {
+			c30 += s * b0
+			c31 += s * b1
+			c32 += s * b2
+			c33 += s * b3
+		}
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
+// microDot computes one 4×4 C tile in the transB order: accumulators start
+// at zero, sum a·b for ascending p (k never split — the running sum must
+// not round-trip memory mid-reduction), and store as beta-scaled C plus
+// alpha·sum — per element, the serial dot kernel's exact FP sequence.
+func microDot(k int, alpha float32, ap, bp []float32, c []float32, ldc int, beta float32) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	ap = ap[: 4*k : 4*k]
+	bp = bp[: 4*k : 4*k]
+	for p := 0; p < k; p++ {
+		aq := ap[4*p : 4*p+4 : 4*p+4]
+		bq := bp[4*p : 4*p+4 : 4*p+4]
+		a0, a1, a2, a3 := aq[0], aq[1], aq[2], aq[3]
+		b0, b1, b2, b3 := bq[0], bq[1], bq[2], bq[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	c0 := c[0*ldc : 0*ldc+4 : 0*ldc+4]
+	c1 := c[1*ldc : 1*ldc+4 : 1*ldc+4]
+	c2 := c[2*ldc : 2*ldc+4 : 2*ldc+4]
+	c3 := c[3*ldc : 3*ldc+4 : 3*ldc+4]
+	storeDot(c0, c00, c01, c02, c03, alpha, beta)
+	storeDot(c1, c10, c11, c12, c13, alpha, beta)
+	storeDot(c2, c20, c21, c22, c23, alpha, beta)
+	storeDot(c3, c30, c31, c32, c33, alpha, beta)
+}
+
+// storeDot lands one row of dot-order accumulators: c[j] = prologue(c[j]) +
+// alpha·acc[j], with the prologue branching exactly like scaleRange.
+func storeDot(c []float32, s0, s1, s2, s3, alpha, beta float32) {
+	switch {
+	case beta == 0:
+		// The explicit 0 + matches the serial sequence (zero the cell, then
+		// +=): it rounds a -0 product up to +0, which a bare assign would
+		// not.
+		c[0] = 0 + alpha*s0
+		c[1] = 0 + alpha*s1
+		c[2] = 0 + alpha*s2
+		c[3] = 0 + alpha*s3
+	case beta == 1:
+		c[0] += alpha * s0
+		c[1] += alpha * s1
+		c[2] += alpha * s2
+		c[3] += alpha * s3
+	default:
+		c[0] = c[0]*beta + alpha*s0
+		c[1] = c[1]*beta + alpha*s1
+		c[2] = c[2]*beta + alpha*s2
+		c[3] = c[3]*beta + alpha*s3
+	}
+}

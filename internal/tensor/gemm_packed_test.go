@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// packedSlice fills test operands with adversarial values for the packed
+// kernels: exact zeros (the axpy skip path), negative zeros (the
+// 0 + alpha*s store rule), and mixed-sign magnitudes spanning several
+// binades (so accumulation order differences cannot cancel out).
+func packedSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		switch rng.Intn(8) {
+		case 0:
+			s[i] = 0
+		case 1:
+			s[i] = float32(math.Copysign(0, -1))
+		case 2:
+			s[i] = (rng.Float32()*2 - 1) * 1e-4
+		default:
+			s[i] = (rng.Float32()*2 - 1) * float32(math.Pow(2, float64(rng.Intn(8)-4)))
+		}
+	}
+	return s
+}
+
+// TestGemmPackedBitwiseSweep pins the packed microkernel path against the
+// serial reference over a randomized shape sweep — odd dimensions, m < mr,
+// n < nr, k ∈ {0, 1}, alpha/beta edge cases — bitwise, at worker widths
+// 1/2/GOMAXPROCS+3, for all four transpose cases. minPackedFlops is forced
+// to 0 so every shape, however small, routes through packing, the
+// microkernels, and the edge-strip fallback.
+func TestGemmPackedBitwiseSweep(t *testing.T) {
+	prevMin := minPackedFlops
+	minPackedFlops = 1
+	defer func() { minPackedFlops = prevMin }()
+
+	widths := []int{1, 2, runtime.GOMAXPROCS(0) + 3}
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1},   // everything is edge strip
+		{3, 3, 3},   // below mr and nr: pure fallback
+		{4, 4, 1},   // exactly one micro-tile, k=1
+		{5, 7, 9},   // odd everything: packed core + both edge strips
+		{4, 4, 0},   // k = 0: pure beta pass (declines packing)
+		{2, 37, 11}, // m < mr
+		{23, 2, 13}, // n < nr
+		{8, 8, 64},  // aligned, deep k
+		{13, 29, 7},
+		{31, 17, 25},
+		{9, 65, 3},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for s := 0; s < 8; s++ { // extra randomized shapes
+		shapes = append(shapes, struct{ m, n, k int }{rng.Intn(40) + 1, rng.Intn(40) + 1, rng.Intn(40) + 1})
+	}
+	cases := []struct{ alpha, beta float32 }{
+		{1, 0}, {1, 1}, {-0.5, 0.25}, {0.75, -1}, {0, 0.5},
+	}
+	for _, sh := range shapes {
+		for _, transA := range []bool{false, true} {
+			for _, transB := range []bool{false, true} {
+				for _, ab := range cases {
+					a := packedSlice(rng, sh.m*sh.k)
+					b := packedSlice(rng, sh.k*sh.n)
+					c0 := packedSlice(rng, sh.m*sh.n)
+
+					want := append([]float32(nil), c0...)
+					gemmSerial(transA, transB, sh.m, sh.n, sh.k, ab.alpha, a, b, ab.beta, want)
+
+					for _, w := range widths {
+						prev := kernels.SetWorkers(w)
+						got := append([]float32(nil), c0...)
+						Gemm(transA, transB, sh.m, sh.n, sh.k, ab.alpha, a, b, ab.beta, got)
+						kernels.SetWorkers(prev)
+						for i := range got {
+							if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+								t.Fatalf("m%d n%d k%d tA%v tB%v alpha%v beta%v width %d: elem %d = %v (bits %x), want %v (bits %x)",
+									sh.m, sh.n, sh.k, transA, transB, ab.alpha, ab.beta, w, i,
+									got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmPackedLargeRouting checks the real threshold routing: a product
+// over minPackedFlops goes through the packed path (observable bitwise —
+// the result must still match the serial reference exactly at several
+// worker widths, which would fail if packing or tiling broke the operation
+// order on a shape big enough to engage every level).
+func TestGemmPackedLargeRouting(t *testing.T) {
+	m, n, k := 96, 160, 144 // 2.2 MFLOP-pairs ≥ minPackedFlops
+	if m*n*k < minPackedFlops {
+		t.Fatalf("shape %dx%dx%d below minPackedFlops %d: test no longer exercises the packed path", m, n, k, minPackedFlops)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, transA := range []bool{false, true} {
+		for _, transB := range []bool{false, true} {
+			a := packedSlice(rng, m*k)
+			b := packedSlice(rng, k*n)
+			c0 := packedSlice(rng, m*n)
+
+			want := append([]float32(nil), c0...)
+			gemmSerial(transA, transB, m, n, k, 0.5, a, b, 0.25, want)
+
+			for _, w := range []int{1, runtime.GOMAXPROCS(0) + 3} {
+				prev := kernels.SetWorkers(w)
+				got := append([]float32(nil), c0...)
+				Gemm(transA, transB, m, n, k, 0.5, a, b, 0.25, got)
+				kernels.SetWorkers(prev)
+				for i := range got {
+					if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("tA%v tB%v width %d: elem %d = %v, want %v", transA, transB, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -55,6 +55,13 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 		return
 	}
 
+	// Large products run the cache-blocked packed path (gemm_packed.go) —
+	// bitwise identical to the streaming kernels below, per the microkernel
+	// contracts there.
+	if gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c) {
+		return
+	}
+
 	flops := m * n * k
 	tiles := kernels.Workers()
 	if lim := flops/minFlopsPerTile + 1; tiles > lim {
