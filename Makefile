@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench allocs allocs-baseline kernels kernels-baseline overlap shard hier chaos lint clean
+.PHONY: all build test race bench allocs allocs-baseline kernels kernels-baseline overlap shard hier chaos sim sim-calibrate lint clean
 
 all: lint build test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 40m ./...
+	$(GO) test -race -shuffle=on -timeout 40m ./...
 
 # Every benchmark once — the CI smoke run. Full measurement runs want
 # `go test -bench=. -benchtime=10x .` by hand.
@@ -67,6 +67,18 @@ hier:
 # failure-free baseline.
 chaos:
 	$(GO) run ./cmd/benchtool -chaos -chaos-seed 1 -learners 4 -steps 12 -chaos-kill-every 5 -json chaos.json
+
+# The discrete-event simulator sweep CI uploads: predicted step time,
+# per-link-class bytes, and fabric congestion hot spots for every
+# collective × codec at 2×4 / 16×8 / 64×8 on the Minsky fabric.
+sim:
+	$(GO) run ./cmd/benchtool -sim -sim-nodes 64 -sim-ranks 8 -json sim.json
+
+# The calibration gate CI runs: fit the simulator's host-overhead knob
+# against live 2×4 runs and fail unless byte counts agree exactly and the
+# predicted-vs-measured step time holds MAPE <= 15%.
+sim-calibrate:
+	$(GO) run ./cmd/benchtool -sim-calibrate -sim-mape-max 0.15 -json sim.json
 
 lint:
 	$(GO) vet ./...

@@ -62,6 +62,16 @@ func main() {
 	spares := flag.Int("spares", 0, "standby identities for -chaos: up to this many victims are backfilled by spare-pool admission instead of rejoining")
 	heartbeatInterval := flag.Duration("heartbeat-interval", 50*time.Millisecond, "heartbeat send period for the -chaos failure monitor")
 	suspectAfter := flag.Duration("suspect-after", 0, "heartbeat silence before a peer is suspected dead in -chaos (0: match the 2s receive detect timeout)")
+	sim := flag.Bool("sim", false, "run the discrete-event collective simulator sweep (predicted step time, per-link traffic, congestion hot spots over scales × collectives × codecs)")
+	simNodes := flag.Int("sim-nodes", 64, "largest node count for the -sim sweep")
+	simRanks := flag.Int("sim-ranks", 8, "ranks per node for the -sim sweep")
+	simGrad := flag.Int("sim-grad", 1<<20, "gradient vector length in float32 elements for the -sim sweep")
+	simBucket := flag.Int("sim-bucket", 16384, "bucket size in float32 elements for the -sim sweep")
+	simCodecs := flag.String("sim-codecs", "none,int8,topk", "comma-separated codecs for the -sim sweep's compressed collectives")
+	simSeed := flag.Uint64("sim-seed", 1, "jitter seed for the -sim sweep (equal seeds reproduce runs bit for bit)")
+	simOverhead := flag.Duration("sim-overhead", 0, "per-message host overhead for the -sim sweep (0 = pure link model; take the fitted value from -sim-calibrate)")
+	simCalibrate := flag.Bool("sim-calibrate", false, "run the simulator calibration gate: live 2×4 runs per collective, exact byte-count check, step-time MAPE gate")
+	simMAPEMax := flag.Float64("sim-mape-max", 0.15, "allowed predicted-vs-measured step-time MAPE for -sim-calibrate")
 	kernelsBench := flag.Bool("kernels", false, "run the compute-kernels throughput workload (GEMM GFLOP/s, conv step time, codec GB/s)")
 	kernelsBaseline := flag.String("kernels-baseline", "", "compare the -kernels run against this committed baseline JSON and fail on regression")
 	kernelsMaxRegress := flag.Float64("kernels-max-regress", 2.0, "allowed throughput shrink factor vs the -kernels-baseline")
@@ -71,6 +81,19 @@ func main() {
 
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
+	}
+
+	if *simCalibrate {
+		if err := simCalibrateWorkload(*topkRatio, *simMAPEMax, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *sim {
+		if err := simWorkload(*simNodes, *simRanks, *simGrad, *simBucket, *simCodecs, *topkRatio, *simSeed, *simOverhead, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *kernelsBench {

@@ -136,6 +136,14 @@ func maxShard(bounds []int) int {
 	return w
 }
 
+// rsRingStep and agRingStep are the ring collectives' step geometry — which
+// shard index a rank sends and receives at step s (mod n). They are shared
+// by the live loops below and the schedule extraction (schedule.go), so the
+// discrete-event simulator replays exactly the steps the wire carries and
+// cannot drift from the implementation silently.
+func rsRingStep(rank, s int) (send, recv int) { return rank - 1 - s, rank - 2 - s }
+func agRingStep(rank, s int) (send, recv int) { return rank - s, rank - s - 1 }
+
 // rsRing is the ring reduce-scatter: at step s, rank sends shard
 // (rank-1-s) mod n to its right neighbour and accumulates shard
 // (rank-2-s) mod n from its left one; after n-1 steps rank owns the full sum
@@ -153,10 +161,11 @@ func rsRing(c *mpi.Comm, data []float32, bounds []int) error {
 	tmp := mpi.GetFloats(maxShard(bounds))
 	defer mpi.PutFloats(tmp)
 	for s := 0; s < n-1; s++ {
-		if err := c.SendFloats(right, tagRScoll+s, shard(rank-1-s)); err != nil {
+		sendShard, recvShard := rsRingStep(rank, s)
+		if err := c.SendFloats(right, tagRScoll+s, shard(sendShard)); err != nil {
 			return err
 		}
-		dst := shard(rank - 2 - s)
+		dst := shard(recvShard)
 		part := tmp[:len(dst)]
 		if err := c.RecvFloatsInto(part, left, tagRScoll+s); err != nil {
 			return fmt.Errorf("allreduce: ring reduce-scatter step %d: %w", s, err)
@@ -181,14 +190,43 @@ func agRing(c *mpi.Comm, data []float32, bounds []int) error {
 		return data[bounds[i]:bounds[i+1]]
 	}
 	for s := 0; s < n-1; s++ {
-		if err := c.SendFloats(right, tagAGcoll+s, shard(rank-s)); err != nil {
+		sendShard, recvShard := agRingStep(rank, s)
+		if err := c.SendFloats(right, tagAGcoll+s, shard(sendShard)); err != nil {
 			return err
 		}
-		if err := c.RecvFloatsInto(shard(rank-s-1), left, tagAGcoll+s); err != nil {
+		if err := c.RecvFloatsInto(shard(recvShard), left, tagAGcoll+s); err != nil {
 			return fmt.Errorf("allreduce: ring allgather step %d: %w", s, err)
 		}
 	}
 	return nil
+}
+
+// halvingStep is one recursive-halving round from a rank's view: exchange
+// with partner — ship [sendLo,sendHi), accumulate the partner's copy of
+// [keepLo,keepHi) — then recurse into the kept half-group [glo,ghi). Shared
+// by the live loop and the schedule extraction (schedule.go).
+type halvingStep struct {
+	partner        int
+	sendLo, sendHi int
+	keepLo, keepHi int
+	glo, ghi       int // the rank group after this round
+}
+
+// halvingRound computes the round geometry for a rank inside the current
+// group [glo,ghi) exchanging at distance half.
+func halvingRound(rank, glo, ghi, half int, bounds []int) halvingStep {
+	mid := glo + (ghi-glo)/2
+	st := halvingStep{partner: rank ^ half}
+	if rank&half == 0 {
+		st.keepLo, st.keepHi = bounds[glo], bounds[mid]
+		st.sendLo, st.sendHi = bounds[mid], bounds[ghi]
+		st.glo, st.ghi = glo, mid
+	} else {
+		st.keepLo, st.keepHi = bounds[mid], bounds[ghi]
+		st.sendLo, st.sendHi = bounds[glo], bounds[mid]
+		st.glo, st.ghi = mid, ghi
+	}
+	return st
 }
 
 // rsHalving is Rabenseifner's recursive-halving reduce-scatter over a
@@ -206,27 +244,17 @@ func rsHalving(c *mpi.Comm, data []float32, bounds []int) error {
 	glo, ghi := 0, p2
 	round := 0
 	for half := p2 / 2; half >= 1; half /= 2 {
-		mid := glo + (ghi-glo)/2
-		partner := rank ^ half
-		var keepLo, keepHi, sendLo, sendHi int
-		if rank&half == 0 {
-			keepLo, keepHi = bounds[glo], bounds[mid]
-			sendLo, sendHi = bounds[mid], bounds[ghi]
-			ghi = mid
-		} else {
-			keepLo, keepHi = bounds[mid], bounds[ghi]
-			sendLo, sendHi = bounds[glo], bounds[mid]
-			glo = mid
-		}
-		if err := c.SendFloats(partner, tagRabRS+round, data[sendLo:sendHi]); err != nil {
+		st := halvingRound(rank, glo, ghi, half, bounds)
+		glo, ghi = st.glo, st.ghi
+		if err := c.SendFloats(st.partner, tagRabRS+round, data[st.sendLo:st.sendHi]); err != nil {
 			return err
 		}
-		tmp := mpi.GetFloats(keepHi - keepLo)
-		part := tmp[:keepHi-keepLo]
-		err := c.RecvFloatsInto(part, partner, tagRabRS+round)
+		tmp := mpi.GetFloats(st.keepHi - st.keepLo)
+		part := tmp[:st.keepHi-st.keepLo]
+		err := c.RecvFloatsInto(part, st.partner, tagRabRS+round)
 		if err == nil {
 			for i, v := range part {
-				data[keepLo+i] += v
+				data[st.keepLo+i] += v
 			}
 		}
 		mpi.PutFloats(tmp)
@@ -252,16 +280,36 @@ func agDoubling(c *mpi.Comm, data []float32, bounds []int) error {
 	}
 	round := 0
 	for half := 1; half < p2; half <<= 1 {
-		partner := rank ^ half
-		myBlk := rank &^ (half - 1)
-		pBlk := partner &^ (half - 1)
-		if err := c.SendFloats(partner, tagRabAG+round, data[bounds[myBlk]:bounds[myBlk+half]]); err != nil {
+		st := doublingRound(rank, half, bounds)
+		if err := c.SendFloats(st.partner, tagRabAG+round, data[st.sendLo:st.sendHi]); err != nil {
 			return err
 		}
-		if err := c.RecvFloatsInto(data[bounds[pBlk]:bounds[pBlk+half]], partner, tagRabAG+round); err != nil {
+		if err := c.RecvFloatsInto(data[st.recvLo:st.recvHi], st.partner, tagRabAG+round); err != nil {
 			return fmt.Errorf("allreduce: recursive doubling round %d: %w", round, err)
 		}
 		round++
 	}
 	return nil
+}
+
+// doublingStep is one recursive-doubling round from a rank's view: swap the
+// merged block [sendLo,sendHi) for the partner's [recvLo,recvHi). Shared by
+// the live loop and the schedule extraction (schedule.go).
+type doublingStep struct {
+	partner        int
+	sendLo, sendHi int
+	recvLo, recvHi int
+}
+
+// doublingRound computes the round geometry for a rank exchanging at
+// distance half.
+func doublingRound(rank, half int, bounds []int) doublingStep {
+	partner := rank ^ half
+	myBlk := rank &^ (half - 1)
+	pBlk := partner &^ (half - 1)
+	return doublingStep{
+		partner: partner,
+		sendLo:  bounds[myBlk], sendHi: bounds[myBlk+half],
+		recvLo: bounds[pBlk], recvHi: bounds[pBlk+half],
+	}
 }

@@ -422,11 +422,17 @@ func (s *Stream) launchHier(job *bucketJob) {
 // to the other leaders and each leader relays to its members; in
 // reduce-scatter mode the final leader sends straight to each shard owner.
 func (s *Stream) downSrc(owned bool) int {
-	h := s.hier
-	if !owned || s.c.Rank() == h.finalLeader {
+	return hierDownSrc(s.hier, s.c.Rank(), owned, s.opts.ShardBounds != nil)
+}
+
+// hierDownSrc is the routing rule behind Stream.downSrc, standalone so the
+// schedule extraction (schedule.go) resolves down-message sources through
+// the exact same code the live exchange posts receives with.
+func hierDownSrc(h *hierPlan, rank int, owned, sharded bool) int {
+	if !owned || rank == h.finalLeader {
 		return -1
 	}
-	if s.opts.ShardBounds != nil || h.isLeader {
+	if sharded || h.isLeader {
 		return h.finalLeader
 	}
 	return h.leader

@@ -1,0 +1,466 @@
+// Package simevent is a discrete-event simulator for the repository's
+// collectives: it replays the wire schedules extracted from the live
+// allreduce implementations (allreduce.BucketRingSchedule and friends) over
+// a virtual clock, predicting step time, per-link-class traffic, and fabric
+// congestion at scales the goroutine-per-rank worlds cannot reach — 64
+// nodes × 8 ranks sweeps take seconds instead of machines.
+//
+// The time model mirrors mpi's topology transport exactly:
+//
+//   - an intra-node message delays Intra.Delay(bytes) with no serialization
+//     (shared memory has no single bottleneck link);
+//   - an inter-node message serializes through the sender's egress queue —
+//     one NIC share per rank — and delays Inter.Delay(bytes) once the queue
+//     reaches it;
+//   - a blocking send occupies the sender until its transfer completes, a
+//     non-blocking send only until the next event;
+//   - a receive blocks until the matching message arrives, where matching is
+//     the transport's rule: per-(source, tag) FIFO;
+//   - every completed operation additionally pays HostOverhead, the
+//     calibrated per-message software cost (encode, matching, scheduling),
+//     optionally jittered by a seeded per-rank RNG.
+//
+// Byte accounting never depends on HostOverhead, jitter, or the seed: a
+// schedule's traffic is a function of the schedule alone, which is what the
+// determinism and cross-validation suites pin. The engine is
+// single-threaded and breaks event-time ties by insertion order, so a run
+// is a pure function of (schedules, Config) — byte-identical traces on
+// every replay.
+package simevent
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/allreduce"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// Config parameterizes one simulated collective step.
+type Config struct {
+	// Topo maps ranks onto nodes (mpi.Topology.Validate rules apply). The
+	// rank count is len(Topo.Node).
+	Topo mpi.Topology
+	// Intra and Inter are the two link classes' profiles, the same values a
+	// live mpi.NewTopologyWorld would be built with.
+	Intra, Inter mpi.LinkProfile
+	// HostOverhead is the per-operation software cost added to every
+	// completed wire op — the calibrated residual between pure link delays
+	// and measured wall time.
+	HostOverhead time.Duration
+	// JitterFrac spreads HostOverhead uniformly in ±JitterFrac around its
+	// nominal value, per operation, from a per-rank RNG seeded by Seed.
+	// Jitter perturbs timing only; byte totals are seed-independent.
+	JitterFrac float64
+	// Seed drives the jitter RNG. Two runs with equal Config (including
+	// Seed) produce byte-identical traces and results.
+	Seed uint64
+	// Fabric, when non-nil, attributes every inter-node message to the
+	// fat-tree links its route traverses (node = fat-tree host, rail =
+	// sending rank mod Rails) for the utilization and hot-spot report.
+	// Accounting only: timing always comes from the Intra/Inter profiles.
+	Fabric *simnet.FatTree
+	// Record retains the full event trace in Result.Trace (the trace hash
+	// is always computed).
+	Record bool
+}
+
+// RankStats is one rank's simulated outcome.
+type RankStats struct {
+	// Finish is when the rank's last operation (either stream) completed.
+	Finish time.Duration `json:"finish_ns"`
+	// SentBytes and RecvBytes are the rank's wire totals.
+	SentBytes int64 `json:"sent_bytes"`
+	RecvBytes int64 `json:"recv_bytes"`
+}
+
+// LinkUtil is one fabric link's share of the step (Config.Fabric set).
+type LinkUtil struct {
+	Link  int    `json:"link"`
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	// BusySeconds is the serialization time the link's own bandwidth implies
+	// for its bytes; Utilization is that over the step's makespan. Values
+	// above 1 mean the link is oversubscribed — a congestion hot spot the
+	// flow-level profiles do not slow down (see the package comment on what
+	// is not modeled).
+	BusySeconds float64 `json:"busy_seconds"`
+	Utilization float64 `json:"utilization"`
+}
+
+// TraceEvent is one executed wire operation (Config.Record).
+type TraceEvent struct {
+	At    time.Duration `json:"at_ns"`
+	Rank  int           `json:"rank"`
+	Kind  string        `json:"kind"`
+	Peer  int           `json:"peer"`
+	Tag   int           `json:"tag"`
+	Bytes int           `json:"bytes"`
+}
+
+// Result is one simulated step.
+type Result struct {
+	// Makespan is the virtual time from step start to the last completion
+	// or delivery — the predicted step communication time.
+	Makespan time.Duration `json:"makespan_ns"`
+	// Traffic is the per-link-class byte total, directly comparable to a
+	// live world's mpi.World.Traffic.
+	Traffic mpi.Traffic `json:"traffic"`
+	// Messages is the number of wire messages sent.
+	Messages int `json:"messages"`
+	// PerRank has one entry per rank.
+	PerRank []RankStats `json:"per_rank"`
+	// Links lists every fabric link that carried traffic, ascending link id
+	// (empty without Config.Fabric).
+	Links []LinkUtil `json:"links,omitempty"`
+	// TraceHash fingerprints the full event trace (operation tuples and
+	// their virtual times, in execution order).
+	TraceHash uint64 `json:"trace_hash"`
+	// Trace is the full event trace when Config.Record is set.
+	Trace []TraceEvent `json:"trace,omitempty"`
+}
+
+// stream is one rank's launch or main program counter.
+type stream struct {
+	rank      int
+	ops       []allreduce.WireOp
+	pc        int
+	blockedAt int64 // virtual time the pending recv started waiting
+}
+
+// msgKey identifies a FIFO message queue: the transport matches receives
+// per (source, tag), and the engine additionally splits by destination.
+type msgKey struct {
+	src, dst, tag int
+}
+
+// msgQueue is one (src, dst, tag) FIFO: arrival times in send order, the
+// count already consumed by receives, and the at-most-one blocked receiver
+// (a destination's main stream consumes any given queue sequentially).
+type msgQueue struct {
+	arrivals []int64
+	taken    int
+	waiter   *stream
+}
+
+// event is a scheduled stream continuation. seq breaks time ties in
+// insertion order, making the engine's schedule total and deterministic.
+type event struct {
+	at  int64
+	seq uint64
+	st  *stream
+}
+
+type engine struct {
+	cfg      Config
+	node     []int
+	heap     []event
+	seq      uint64
+	inbox    map[msgKey]*msgQueue
+	egress   []int64 // per-rank inter-node egress availability
+	rng      []uint64
+	perRank  []RankStats
+	traffic  mpi.Traffic
+	messages int
+	maxT     int64
+	hash     uint64
+	trace    []TraceEvent
+	linkB    []int64
+	linkBusy []float64
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// splitmix64 advances *s and returns the next draw — the standard SplitMix64
+// generator, chosen for stateless seeding (any two seeds give independent
+// streams).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Run simulates one collective step described by scheds over cfg and
+// returns the predicted outcome. scheds must have one entry per rank of
+// cfg.Topo. An unsatisfiable schedule (a receive whose message is never
+// sent — impossible for the extracted collectives, possible for hand-built
+// ones) returns a deadlock error naming the first stuck rank.
+func Run(scheds []allreduce.RankSchedule, cfg Config) (*Result, error) {
+	n := len(scheds)
+	if err := cfg.Topo.Validate(n); err != nil {
+		return nil, fmt.Errorf("simevent: %w", err)
+	}
+	if cfg.Fabric != nil && cfg.Topo.Nodes() > cfg.Fabric.Hosts {
+		return nil, fmt.Errorf("simevent: topology has %d nodes but fabric only %d hosts", cfg.Topo.Nodes(), cfg.Fabric.Hosts)
+	}
+	e := &engine{
+		cfg:     cfg,
+		node:    cfg.Topo.Node,
+		inbox:   make(map[msgKey]*msgQueue),
+		egress:  make([]int64, n),
+		rng:     make([]uint64, n),
+		perRank: make([]RankStats, n),
+		hash:    fnvOffset,
+	}
+	for r := range e.rng {
+		e.rng[r] = cfg.Seed ^ (uint64(r+1) * 0x9E3779B97F4A7C15)
+	}
+	if cfg.Fabric != nil {
+		e.linkB = make([]int64, cfg.Fabric.NumLinks())
+		e.linkBusy = make([]float64, cfg.Fabric.NumLinks())
+	}
+
+	streams := make([]*stream, 0, 2*n)
+	for r, sc := range scheds {
+		if err := checkOps(sc.Launch, r, n, true); err != nil {
+			return nil, err
+		}
+		if err := checkOps(sc.Main, r, n, false); err != nil {
+			return nil, err
+		}
+		if len(sc.Launch) > 0 {
+			st := &stream{rank: r, ops: sc.Launch}
+			streams = append(streams, st)
+			e.push(0, st)
+		}
+		if len(sc.Main) > 0 {
+			st := &stream{rank: r, ops: sc.Main}
+			streams = append(streams, st)
+			e.push(0, st)
+		}
+	}
+
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		e.exec(ev.st, ev.at)
+	}
+	for _, st := range streams {
+		if st.pc < len(st.ops) {
+			op := st.ops[st.pc]
+			return nil, fmt.Errorf("simevent: deadlock: rank %d stuck at op %d (%s peer %d tag %d) — no matching message",
+				st.rank, st.pc, op.Kind, op.Peer, op.Tag)
+		}
+	}
+
+	res := &Result{
+		Makespan:  time.Duration(e.maxT),
+		Traffic:   e.traffic,
+		Messages:  e.messages,
+		PerRank:   e.perRank,
+		TraceHash: e.hash,
+		Trace:     e.trace,
+	}
+	if cfg.Fabric != nil {
+		for l, b := range e.linkB {
+			if b == 0 {
+				continue
+			}
+			u := LinkUtil{Link: l, Name: cfg.Fabric.LinkName(simnet.LinkID(l)), Bytes: b, BusySeconds: e.linkBusy[l]}
+			if res.Makespan > 0 {
+				u.Utilization = u.BusySeconds / res.Makespan.Seconds()
+			}
+			res.Links = append(res.Links, u)
+		}
+	}
+	return res, nil
+}
+
+// checkOps validates one stream's ops against the world size. Launch
+// streams model the live pipelines' asynchronous send goroutines and may
+// not block on receives.
+func checkOps(ops []allreduce.WireOp, rank, n int, launch bool) error {
+	for i, op := range ops {
+		if op.Peer < 0 || op.Peer >= n {
+			return fmt.Errorf("simevent: rank %d op %d: peer %d outside %d ranks", rank, i, op.Peer, n)
+		}
+		if op.Bytes < 0 {
+			return fmt.Errorf("simevent: rank %d op %d: negative size %d", rank, i, op.Bytes)
+		}
+		if launch && op.Kind == allreduce.WireRecv {
+			return fmt.Errorf("simevent: rank %d launch op %d: receives must live on the main stream", rank, i)
+		}
+	}
+	return nil
+}
+
+func (e *engine) push(at int64, st *stream) {
+	e.seq++
+	e.heap = append(e.heap, event{at: at, seq: e.seq, st: st})
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.less(i, p) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+func (e *engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && e.less(l, s) {
+			s = l
+		}
+		if r < last && e.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		e.heap[i], e.heap[s] = e.heap[s], e.heap[i]
+		i = s
+	}
+	return top
+}
+
+func (e *engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// exec runs the stream's current op at virtual time now.
+func (e *engine) exec(st *stream, now int64) {
+	op := st.ops[st.pc]
+	switch op.Kind {
+	case allreduce.WireIsend:
+		e.post(st.rank, op, now)
+		e.complete(st, now)
+	case allreduce.WireSend:
+		done := e.post(st.rank, op, now)
+		e.complete(st, done)
+	case allreduce.WireRecv:
+		q := e.queue(op.Peer, st.rank, op.Tag)
+		if q.taken >= len(q.arrivals) {
+			q.waiter = st
+			st.blockedAt = now
+			return
+		}
+		a := q.arrivals[q.taken]
+		q.taken++
+		done := max(now, a)
+		e.perRank[st.rank].RecvBytes += int64(op.Bytes)
+		e.record(st.rank, op, done)
+		e.complete(st, done)
+	default:
+		panic(fmt.Sprintf("simevent: unknown wire kind %d", op.Kind))
+	}
+}
+
+// complete finishes the stream's current op at virtual time at, charges
+// the host overhead, and schedules the next op.
+func (e *engine) complete(st *stream, at int64) {
+	at += e.overhead(st.rank)
+	if at > e.maxT {
+		e.maxT = at
+	}
+	if d := time.Duration(at); d > e.perRank[st.rank].Finish {
+		e.perRank[st.rank].Finish = d
+	}
+	st.pc++
+	if st.pc < len(st.ops) {
+		e.push(at, st)
+	}
+}
+
+// overhead draws the (possibly jittered) per-op host cost for a rank.
+func (e *engine) overhead(rank int) int64 {
+	h := int64(e.cfg.HostOverhead)
+	if h <= 0 {
+		return 0
+	}
+	if e.cfg.JitterFrac <= 0 {
+		return h
+	}
+	u := float64(splitmix64(&e.rng[rank])>>11) / (1 << 53) // [0, 1)
+	return int64(float64(h) * (1 + e.cfg.JitterFrac*(2*u-1)))
+}
+
+// post charges and delivers one message from rank at virtual time now,
+// returning when the sender's transfer completes (what a blocking send
+// waits for). Mirrors topoTransport.charge: intra-node messages delay
+// concurrently; inter-node messages serialize through the sender's egress.
+func (e *engine) post(rank int, op allreduce.WireOp, now int64) int64 {
+	dst := op.Peer
+	e.messages++
+	e.perRank[rank].SentBytes += int64(op.Bytes)
+	var arrival int64
+	if e.node[rank] == e.node[dst] {
+		e.traffic.IntraBytes += int64(op.Bytes)
+		arrival = now + int64(e.cfg.Intra.Delay(op.Bytes))
+	} else {
+		e.traffic.InterBytes += int64(op.Bytes)
+		d := int64(e.cfg.Inter.Delay(op.Bytes))
+		if d > 0 {
+			start := max(now, e.egress[rank])
+			arrival = start + d
+			e.egress[rank] = arrival
+		} else {
+			arrival = now
+		}
+		if f := e.cfg.Fabric; f != nil {
+			links, err := f.Route(e.node[rank], e.node[dst], rank%f.Rails)
+			if err == nil { // bounds pre-validated in Run
+				for _, l := range links {
+					e.linkB[l] += int64(op.Bytes)
+					e.linkBusy[l] += float64(op.Bytes) / f.Bandwidth(l)
+				}
+			}
+		}
+	}
+	e.record(rank, op, now)
+	if arrival > e.maxT {
+		e.maxT = arrival
+	}
+	q := e.queue(rank, dst, op.Tag)
+	q.arrivals = append(q.arrivals, arrival)
+	if q.waiter != nil {
+		w := q.waiter
+		q.waiter = nil
+		e.push(max(arrival, w.blockedAt), w)
+	}
+	return arrival
+}
+
+func (e *engine) queue(src, dst, tag int) *msgQueue {
+	k := msgKey{src: src, dst: dst, tag: tag}
+	q := e.inbox[k]
+	if q == nil {
+		q = &msgQueue{}
+		e.inbox[k] = q
+	}
+	return q
+}
+
+// record folds one executed operation into the trace hash (FNV-1a over the
+// op tuple and its virtual time) and, under Config.Record, the trace.
+func (e *engine) record(rank int, op allreduce.WireOp, at int64) {
+	h := e.hash
+	for _, v := range [6]uint64{uint64(op.Kind), uint64(rank), uint64(op.Peer), uint64(op.Tag), uint64(op.Bytes), uint64(at)} {
+		h ^= v
+		h *= fnvPrime
+	}
+	e.hash = h
+	if e.cfg.Record {
+		e.trace = append(e.trace, TraceEvent{
+			At: time.Duration(at), Rank: rank, Kind: op.Kind.String(),
+			Peer: op.Peer, Tag: op.Tag, Bytes: op.Bytes,
+		})
+	}
+}

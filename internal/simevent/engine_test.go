@@ -1,0 +1,157 @@
+package simevent
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/allreduce"
+	"repro/internal/mpi"
+)
+
+func twoNodeConfig(inter, intra mpi.LinkProfile) Config {
+	return Config{Topo: mpi.UniformTopology(4, 2), Intra: intra, Inter: inter}
+}
+
+// TestInterNodeSendsSerializeOnEgress pins the egress model: two inter-node
+// messages from one rank occupy its NIC share back to back, while two
+// intra-node messages delay concurrently.
+func TestInterNodeSendsSerializeOnEgress(t *testing.T) {
+	inter := mpi.LinkProfile{Latency: time.Millisecond}
+	cfg := twoNodeConfig(inter, mpi.LinkProfile{})
+
+	// Rank 0 Isends twice to ranks 2 and 3 (both on the other node); each
+	// transfer takes 1ms and they must serialize: makespan 2ms.
+	scheds := make([]allreduce.RankSchedule, 4)
+	scheds[0].Main = []allreduce.WireOp{
+		{Kind: allreduce.WireIsend, Peer: 2, Tag: 7, Bytes: 10},
+		{Kind: allreduce.WireIsend, Peer: 3, Tag: 7, Bytes: 10},
+	}
+	scheds[2].Main = []allreduce.WireOp{{Kind: allreduce.WireRecv, Peer: 0, Tag: 7, Bytes: 10}}
+	scheds[3].Main = []allreduce.WireOp{{Kind: allreduce.WireRecv, Peer: 0, Tag: 7, Bytes: 10}}
+	res, err := Run(scheds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2*time.Millisecond {
+		t.Fatalf("serialized egress makespan = %v, want 2ms", res.Makespan)
+	}
+	if res.Traffic.InterBytes != 20 || res.Traffic.IntraBytes != 0 {
+		t.Fatalf("traffic = %+v, want 20 inter bytes", res.Traffic)
+	}
+
+	// The same pattern within a node: intra sends do not serialize.
+	cfg = twoNodeConfig(mpi.LinkProfile{}, mpi.LinkProfile{Latency: time.Millisecond})
+	scheds = make([]allreduce.RankSchedule, 4)
+	scheds[0].Main = []allreduce.WireOp{
+		{Kind: allreduce.WireIsend, Peer: 1, Tag: 7, Bytes: 10},
+		{Kind: allreduce.WireIsend, Peer: 1, Tag: 8, Bytes: 10},
+	}
+	scheds[1].Main = []allreduce.WireOp{
+		{Kind: allreduce.WireRecv, Peer: 0, Tag: 7, Bytes: 10},
+		{Kind: allreduce.WireRecv, Peer: 0, Tag: 8, Bytes: 10},
+	}
+	res, err = Run(scheds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != time.Millisecond {
+		t.Fatalf("concurrent intra makespan = %v, want 1ms", res.Makespan)
+	}
+}
+
+// TestBlockingSendOccupiesSender: a WireSend holds the sender until the
+// transfer completes; a WireIsend does not.
+func TestBlockingSendOccupiesSender(t *testing.T) {
+	inter := mpi.LinkProfile{Latency: time.Millisecond}
+	cfg := twoNodeConfig(inter, mpi.LinkProfile{})
+	scheds := make([]allreduce.RankSchedule, 4)
+	// Blocking send then a recv: the recv cannot start before 1ms, and its
+	// message (sent at 0 from rank 2) is ready by then.
+	scheds[0].Main = []allreduce.WireOp{
+		{Kind: allreduce.WireSend, Peer: 2, Tag: 1, Bytes: 10},
+		{Kind: allreduce.WireRecv, Peer: 2, Tag: 2, Bytes: 10},
+	}
+	scheds[2].Main = []allreduce.WireOp{
+		{Kind: allreduce.WireIsend, Peer: 0, Tag: 2, Bytes: 10},
+		{Kind: allreduce.WireRecv, Peer: 0, Tag: 1, Bytes: 10},
+	}
+	res, err := Run(scheds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PerRank[0].Finish; got != time.Millisecond {
+		t.Fatalf("rank 0 finish = %v, want 1ms (blocking send then ready recv)", got)
+	}
+}
+
+// TestRecvMatchesPerSourceTagFIFO: two messages on one (src, tag) pair
+// deliver in send order regardless of receive timing.
+func TestRecvMatchesPerSourceTagFIFO(t *testing.T) {
+	inter := mpi.LinkProfile{Latency: time.Millisecond, BytesPerSec: 1e6}
+	cfg := twoNodeConfig(inter, mpi.LinkProfile{})
+	scheds := make([]allreduce.RankSchedule, 4)
+	scheds[0].Main = []allreduce.WireOp{
+		{Kind: allreduce.WireIsend, Peer: 2, Tag: 5, Bytes: 1000}, // arrives 2ms
+		{Kind: allreduce.WireIsend, Peer: 2, Tag: 5, Bytes: 2000}, // arrives 2ms + 3ms
+	}
+	scheds[2].Main = []allreduce.WireOp{
+		{Kind: allreduce.WireRecv, Peer: 0, Tag: 5, Bytes: 1000},
+		{Kind: allreduce.WireRecv, Peer: 0, Tag: 5, Bytes: 2000},
+	}
+	res, err := Run(scheds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 * time.Millisecond // (1ms+1ms) then (1ms+2ms), serialized on rank 0's egress
+	if res.PerRank[2].Finish != want {
+		t.Fatalf("rank 2 finish = %v, want %v", res.PerRank[2].Finish, want)
+	}
+}
+
+// TestDeadlockDetection: a receive with no matching send terminates with a
+// descriptive error instead of hanging.
+func TestDeadlockDetection(t *testing.T) {
+	scheds := make([]allreduce.RankSchedule, 4)
+	scheds[1].Main = []allreduce.WireOp{{Kind: allreduce.WireRecv, Peer: 0, Tag: 9, Bytes: 4}}
+	_, err := Run(scheds, twoNodeConfig(mpi.LinkProfile{}, mpi.LinkProfile{}))
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+// TestLaunchStreamRejectsRecv: receives belong on the main stream.
+func TestLaunchStreamRejectsRecv(t *testing.T) {
+	scheds := make([]allreduce.RankSchedule, 4)
+	scheds[0].Launch = []allreduce.WireOp{{Kind: allreduce.WireRecv, Peer: 1, Tag: 1, Bytes: 4}}
+	_, err := Run(scheds, twoNodeConfig(mpi.LinkProfile{}, mpi.LinkProfile{}))
+	if err == nil || !strings.Contains(err.Error(), "launch") {
+		t.Fatalf("want launch-stream error, got %v", err)
+	}
+}
+
+// TestHostOverheadExtendsMakespan: overhead charges per completed op and a
+// zero-overhead run is strictly faster.
+func TestHostOverheadExtendsMakespan(t *testing.T) {
+	topo := mpi.UniformTopology(8, 4)
+	scheds, err := BuildSchedule(Spec{Collective: BucketRing, Topo: topo, Elems: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := mpi.LinkProfile{Latency: 100 * time.Microsecond, BytesPerSec: 1e8}
+	intra := mpi.LinkProfile{Latency: 10 * time.Microsecond, BytesPerSec: 1e9}
+	base, err := Run(scheds, Config{Topo: topo, Intra: intra, Inter: inter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(scheds, Config{Topo: topo, Intra: intra, Inter: inter, HostOverhead: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= base.Makespan {
+		t.Fatalf("overhead run %v not slower than base %v", slow.Makespan, base.Makespan)
+	}
+	if slow.Traffic != base.Traffic {
+		t.Fatalf("overhead changed traffic: %+v vs %+v", slow.Traffic, base.Traffic)
+	}
+}

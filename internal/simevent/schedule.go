@@ -1,0 +1,107 @@
+package simevent
+
+import (
+	"fmt"
+
+	"repro/internal/allreduce"
+	"repro/internal/compress"
+	"repro/internal/mpi"
+)
+
+// Collective names one of the four simulated exchange patterns.
+type Collective string
+
+const (
+	// BucketRing is allreduce.AlgBucketRing: ring reduce-scatter composed
+	// with ring allgather, raw float32 wire.
+	BucketRing Collective = "bucketring"
+	// Rabenseifner is allreduce.AlgRabenseifner: recursive halving +
+	// recursive doubling with non-power-of-two fold-in, raw float32 wire.
+	Rabenseifner Collective = "rabenseifner"
+	// Hierarchical is the bucketed Stream's topology mode: codec-compressed
+	// member payloads up to node leaders, a raw leader chain fold, raw fan
+	// back down.
+	Hierarchical Collective = "hierarchical"
+	// ShardedRS is allreduce.BucketedReduceScatter over the uniform shard
+	// layout: codec-compressed bucket payloads to each bucket's owners.
+	ShardedRS Collective = "sharded-rs"
+)
+
+// Collectives returns the four simulated collectives in canonical order.
+func Collectives() []Collective {
+	return []Collective{BucketRing, Rabenseifner, Hierarchical, ShardedRS}
+}
+
+// WireSizer maps a bucket's element count to the exact payload bytes a
+// codec puts on the wire, by probing the real encoder. Every codec in the
+// tree produces data-independent payload sizes (identity 4n, int8 4+n,
+// f16/bf16 2n, topk 4+8·keep(n)) and the parallel encoders are
+// byte-identical to the serial ones, so probing a zero vector once per
+// length is exact — and can never drift from the encoder, unlike a
+// hand-copied size formula. Probes are cached per length. Not safe for
+// concurrent use.
+type WireSizer struct {
+	codec compress.Codec
+	cache map[int]int
+}
+
+// NewWireSizer wraps a codec (nil means identity — the raw wire).
+func NewWireSizer(codec compress.Codec) *WireSizer {
+	if codec == nil {
+		codec = compress.Identity{}
+	}
+	return &WireSizer{codec: codec, cache: make(map[int]int)}
+}
+
+// Size returns the payload bytes of an elems-element bucket.
+func (w *WireSizer) Size(elems int) int {
+	if n, ok := w.cache[elems]; ok {
+		return n
+	}
+	n := len(compress.Encode(w.codec, make([]float32, elems)))
+	w.cache[elems] = n
+	return n
+}
+
+// Spec describes one collective step to extract a schedule for.
+type Spec struct {
+	Collective Collective
+	// Topo is the rank→node layout (also fixes the rank count). The two
+	// phased collectives ignore the node structure for routing but their
+	// messages are still classified intra/inter by it in the engine.
+	Topo mpi.Topology
+	// Elems is the gradient vector length in float32 elements.
+	Elems int
+	// BucketFloats is the bucketed pipelines' bucket size (0 = the live
+	// default); the phased collectives ignore it.
+	BucketFloats int
+	// Codec compresses the hierarchical up leg and the sharded payloads
+	// (nil = identity). The raw-wire collectives ignore it.
+	Codec compress.Codec
+}
+
+// BuildSchedule extracts the wire schedule for one collective step. The
+// returned slice has one entry per rank of spec.Topo.
+func BuildSchedule(spec Spec) ([]allreduce.RankSchedule, error) {
+	ranks := len(spec.Topo.Node)
+	if err := spec.Topo.Validate(ranks); err != nil {
+		return nil, fmt.Errorf("simevent: %w", err)
+	}
+	if spec.Elems < 0 {
+		return nil, fmt.Errorf("simevent: negative vector length %d", spec.Elems)
+	}
+	switch spec.Collective {
+	case BucketRing:
+		return allreduce.BucketRingSchedule(ranks, spec.Elems), nil
+	case Rabenseifner:
+		return allreduce.RabenseifnerSchedule(ranks, spec.Elems), nil
+	case ShardedRS:
+		sizer := NewWireSizer(spec.Codec)
+		return allreduce.ShardedReduceScatterSchedule(ranks, spec.Elems, spec.BucketFloats, nil, sizer.Size), nil
+	case Hierarchical:
+		sizer := NewWireSizer(spec.Codec)
+		return allreduce.HierarchicalSchedule(spec.Topo, spec.Elems, spec.BucketFloats, sizer.Size)
+	default:
+		return nil, fmt.Errorf("simevent: unknown collective %q", spec.Collective)
+	}
+}

@@ -70,6 +70,51 @@ func (t *FatTree) NumLinks() int { return t.numLinks }
 // Bandwidth returns link l's bandwidth in bytes/second.
 func (t *FatTree) Bandwidth(l LinkID) float64 { return t.bw[l] }
 
+// SetBandwidth overrides one directed link's bandwidth — the hook for
+// modeling oversubscribed core links or asymmetric up/down capacity on an
+// otherwise regular tree.
+func (t *FatTree) SetBandwidth(l LinkID, bw float64) error {
+	if l < 0 || int(l) >= t.numLinks {
+		return fmt.Errorf("simnet: link %d outside %d links", l, t.numLinks)
+	}
+	if bw <= 0 {
+		return fmt.Errorf("simnet: non-positive bandwidth %g for link %d", bw, l)
+	}
+	t.bw[l] = bw
+	return nil
+}
+
+// HostUp and HostDown return a host's rail links; LeafUp and LeafDown a
+// leaf's spine links. Exported so tests and reports can address specific
+// links (SetBandwidth, LinkName) without duplicating the layout math.
+func (t *FatTree) HostUp(h, rail int) LinkID   { return t.hostUp(h, rail) }
+func (t *FatTree) HostDown(h, rail int) LinkID { return t.hostDown(h, rail) }
+func (t *FatTree) LeafUp(l, s int) LinkID      { return t.leafUp(l, s) }
+func (t *FatTree) LeafDown(l, s int) LinkID    { return t.leafDown(l, s) }
+
+// LinkName renders a link id human-readably: host3/rail1/up,
+// leaf0-spine2/down.
+func (t *FatTree) LinkName(l LinkID) string {
+	i := int(l)
+	hostLinks := t.Hosts * t.Rails * 2
+	if i < 0 || i >= t.numLinks {
+		return fmt.Sprintf("link%d", i)
+	}
+	if i < hostLinks {
+		dir := "up"
+		if i%2 == 1 {
+			dir = "down"
+		}
+		return fmt.Sprintf("host%d/rail%d/%s", i/2/t.Rails, (i/2)%t.Rails, dir)
+	}
+	i -= hostLinks
+	dir := "up"
+	if i%2 == 1 {
+		dir = "down"
+	}
+	return fmt.Sprintf("leaf%d-spine%d/%s", i/2/t.Spines, (i/2)%t.Spines, dir)
+}
+
 func (t *FatTree) hostUp(h, rail int) LinkID   { return LinkID((h*t.Rails + rail) * 2) }
 func (t *FatTree) hostDown(h, rail int) LinkID { return LinkID((h*t.Rails+rail)*2 + 1) }
 

@@ -1,0 +1,184 @@
+package simnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSingleHostProfiles: a one-node "cluster" has no cross-node path, so
+// LinkProfiles falls back to the host rail bandwidth instead of the +Inf
+// loopback PathBandwidth reports.
+func TestSingleHostProfiles(t *testing.T) {
+	ft := MinskyFabric(1)
+	if ft.Hosts != 1 || ft.Leaves() != 1 {
+		t.Fatalf("MinskyFabric(1) = %d hosts, %d leaves", ft.Hosts, ft.Leaves())
+	}
+	if bw, err := ft.PathBandwidth(0, 0, 0); err != nil || !math.IsInf(bw, 1) {
+		t.Fatalf("single-host loopback bandwidth = %v, %v; want +Inf", bw, err)
+	}
+	intra, inter, err := ft.LinkProfiles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.BytesPerSec != ft.HostBW {
+		t.Fatalf("single-host inter bandwidth = %v, want HostBW %v fallback", inter.BytesPerSec, ft.HostBW)
+	}
+	if math.IsInf(intra.BytesPerSec, 1) || intra.BytesPerSec <= inter.BytesPerSec {
+		t.Fatalf("single-host intra bandwidth = %v, want finite and above inter %v", intra.BytesPerSec, inter.BytesPerSec)
+	}
+}
+
+// TestSingleRailRouting: with one rail any rail index, including negative
+// scratch values, normalizes to rail 0 and routes identically.
+func TestSingleRailRouting(t *testing.T) {
+	ft, err := NewFatTree(4, 2, 1, 1, 10e9, 5e9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ft.Route(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rail := range []int{1, 7, -1, -3} {
+		got, err := ft.Route(0, 3, rail)
+		if err != nil {
+			t.Fatalf("rail %d: %v", rail, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("rail %d route length %d, want %d", rail, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("rail %d route %v, want %v (single rail must normalize)", rail, got, base)
+			}
+		}
+	}
+}
+
+// TestOversubscribedCoreLinks: thinning one leaf-spine link via SetBandwidth
+// drops only the cross-leaf paths hashed onto that spine; same-leaf paths
+// never see the core.
+func TestOversubscribedCoreLinks(t *testing.T) {
+	ft, err := NewFatTree(4, 2, 1, 1, 10e9, 40e9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One spine: every cross-leaf route uses leafUp(srcLeaf, 0) and
+	// leafDown(dstLeaf, 0). Choke leaf 0's uplink to a tenth of a rail.
+	if err := ft.SetBandwidth(ft.LeafUp(0, 0), 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if bw, err := ft.PathBandwidth(0, 3, 0); err != nil || bw != 1e9 {
+		t.Fatalf("cross-leaf over choked core = %v, %v; want 1e9", bw, err)
+	}
+	// The reverse direction climbs leaf 1's (untouched) uplink.
+	if bw, err := ft.PathBandwidth(3, 0, 0); err != nil || bw != 10e9 {
+		t.Fatalf("reverse cross-leaf = %v, %v; want 10e9 (host rail bound)", bw, err)
+	}
+	// Same-leaf traffic is unaffected.
+	if bw, err := ft.PathBandwidth(0, 1, 0); err != nil || bw != 10e9 {
+		t.Fatalf("same-leaf after core choke = %v, %v; want 10e9", bw, err)
+	}
+	// LinkProfiles' representative path (host 0 → last host) crosses the
+	// choked uplink, so the derived inter profile slows accordingly.
+	_, inter, err := ft.LinkProfiles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.BytesPerSec != 1e9 {
+		t.Fatalf("inter profile over choked core = %v B/s, want 1e9", inter.BytesPerSec)
+	}
+}
+
+// TestAsymmetricUpDownProfiles: up and down directions of one host rail are
+// independent links, so PathBandwidth is direction-dependent after an
+// asymmetric override.
+func TestAsymmetricUpDownProfiles(t *testing.T) {
+	ft, err := NewFatTree(2, 2, 1, 1, 10e9, 40e9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host 0 uploads at a quarter rate; its download keeps full rate.
+	if err := ft.SetBandwidth(ft.HostUp(0, 0), 2.5e9); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ft.PathBandwidth(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ft.PathBandwidth(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 2.5e9 || in != 10e9 {
+		t.Fatalf("asymmetric rail: 0→1 %v (want 2.5e9), 1→0 %v (want 10e9)", out, in)
+	}
+}
+
+// TestSetBandwidthValidation: out-of-range links and non-positive
+// bandwidths are rejected, and valid overrides are observable.
+func TestSetBandwidthValidation(t *testing.T) {
+	ft, err := NewFatTree(2, 2, 1, 1, 10e9, 40e9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.SetBandwidth(LinkID(ft.NumLinks()), 1e9); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if err := ft.SetBandwidth(-1, 1e9); err == nil {
+		t.Fatal("negative link accepted")
+	}
+	if err := ft.SetBandwidth(0, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if err := ft.SetBandwidth(ft.HostDown(1, 0), 3e9); err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.Bandwidth(ft.HostDown(1, 0)); got != 3e9 {
+		t.Fatalf("override not visible: %v", got)
+	}
+}
+
+// TestLinkNames: LinkName renders both layers and both directions, and
+// stays in sync with the layout helpers.
+func TestLinkNames(t *testing.T) {
+	ft, err := NewFatTree(8, 4, 3, 2, 10e9, 40e9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		l    LinkID
+		want string
+	}{
+		{ft.HostUp(0, 0), "host0/rail0/up"},
+		{ft.HostDown(3, 1), "host3/rail1/down"},
+		{ft.LeafUp(1, 2), "leaf1-spine2/up"},
+		{ft.LeafDown(0, 1), "leaf0-spine1/down"},
+	}
+	for _, c := range cases {
+		if got := ft.LinkName(c.l); got != c.want {
+			t.Fatalf("LinkName(%d) = %q, want %q", c.l, got, c.want)
+		}
+	}
+	if got := ft.LinkName(LinkID(ft.NumLinks() + 5)); !strings.HasPrefix(got, "link") {
+		t.Fatalf("out-of-range LinkName = %q, want link<N> fallback", got)
+	}
+}
+
+// TestLinkProfilesSlowdownClamp: slowdowns below 1 clamp to 1 — the model
+// never speeds the fabric past its calibrated rates.
+func TestLinkProfilesSlowdownClamp(t *testing.T) {
+	ft := MinskyFabric(4)
+	intraA, interA, err := ft.LinkProfiles(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intraB, interB, err := ft.LinkProfiles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intraA != intraB || interA != interB {
+		t.Fatalf("slowdown < 1 not clamped: %+v/%+v vs %+v/%+v", intraA, interA, intraB, interB)
+	}
+}
